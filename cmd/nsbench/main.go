@@ -1,0 +1,186 @@
+// Command nsbench regenerates the tables and figures of "Towards Cognitive
+// AI Systems: Workload and Characterization of Neuro-Symbolic AI"
+// (ISPASS 2024) from the nsbench reimplementation.
+//
+// Usage:
+//
+//	nsbench -experiment all
+//	nsbench -experiment fig2a|fig2b|fig2c|fig3a|fig3b|fig3c|fig4|fig5|tab1|tab4|sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/neurosym/nsbench/internal/core"
+	"github.com/neurosym/nsbench/internal/hwsim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to regenerate (fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig4, fig5, tab1, tab4, sweep, recs, all)")
+	device := flag.String("device", hwsim.RTX2080Ti.Name, "reference device for roofline and Table IV")
+	flag.Parse()
+
+	dev, err := hwsim.DeviceByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(*experiment, dev); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nsbench:", err)
+	os.Exit(1)
+}
+
+// run dispatches one experiment (or all of them).
+func run(experiment string, dev hwsim.Device) error {
+	needSuite := map[string]bool{"fig2a": true, "fig3a": true, "fig3b": true, "fig3c": true, "fig4": true, "all": true}
+
+	var reports []*core.Report
+	if needSuite[experiment] {
+		fmt.Fprintln(os.Stderr, "running the seven-workload suite (NVSA and friends take a few hundred ms each)...")
+		var err error
+		reports, err = core.Fig2a()
+		if err != nil {
+			return err
+		}
+	}
+
+	section := func(f func() error) error {
+		if err := f(); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	all := experiment == "all"
+	out := os.Stdout
+	if all || experiment == "tab1" {
+		if err := section(func() error { core.RenderTab1(out); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig2a" {
+		if err := section(func() error { core.RenderFig2a(out, reports); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig2b" {
+		if err := section(func() error {
+			rows, err := core.Fig2b()
+			if err != nil {
+				return err
+			}
+			core.RenderFig2b(out, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig2c" {
+		if err := section(func() error {
+			rows, err := core.Fig2c()
+			if err != nil {
+				return err
+			}
+			core.RenderFig2c(out, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig3a" {
+		if err := section(func() error { core.RenderFig3a(out, reports); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig3b" {
+		if err := section(func() error { core.RenderFig3b(out, reports); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig3c" {
+		if err := section(func() error { core.RenderFig3c(out, reports, dev); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig4" {
+		if err := section(func() error { core.RenderFig4(out, reports); return nil }); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig5" {
+		if err := section(func() error {
+			rows, err := core.Fig5()
+			if err != nil {
+				return err
+			}
+			core.RenderFig5(out, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "tab4" {
+		if err := section(func() error {
+			rows, err := core.Tab4(dev)
+			if err != nil {
+				return err
+			}
+			core.RenderTab4(out, rows, dev)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "recs" {
+		if err := section(func() error {
+			rec, err := core.RecommendationAblations([]int{1, 2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			core.RenderRecommendations(out, rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "sweep" {
+		if err := section(func() error {
+			rows, err := core.ScalabilitySweep([]int{1024, 2048, 4096, 8192})
+			if err != nil {
+				return err
+			}
+			fmt.Println("Extended sweep — NVSA hypervector dimension scalability")
+			fmt.Printf("%-8s %14s %10s\n", "dim", "total", "symbolic%")
+			for _, r := range rows {
+				fmt.Printf("%-8d %14v %9.1f%%\n", r.Dim, r.Total, 100*r.SymbolicShare)
+			}
+			nrows, err := core.NLMScaleSweep([]int{16, 32, 64})
+			if err != nil {
+				return err
+			}
+			fmt.Println("Extended sweep — NLM universe-size scalability")
+			fmt.Printf("%-8s %14s %10s\n", "objects", "total", "symbolic%")
+			for _, r := range nrows {
+				fmt.Printf("%-8d %14v %9.1f%%\n", r.Objects, r.Total, 100*r.SymbolicShare)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !all {
+		switch experiment {
+		case "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "tab1", "tab4", "sweep", "recs":
+		default:
+			return fmt.Errorf("unknown experiment %q", experiment)
+		}
+	}
+	return nil
+}

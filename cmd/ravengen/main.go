@@ -1,0 +1,79 @@
+// Command ravengen generates Raven's Progressive Matrices tasks as JSON for
+// inspection or replay by external tools.
+//
+// Usage:
+//
+//	ravengen -n 3 -m 3 -seed 7 > tasks.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/neurosym/nsbench/internal/raven"
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// jsonPanel is the serialized panel form.
+type jsonPanel struct {
+	Slots  []int `json:"slots"`
+	Number int   `json:"number"`
+	Type   int   `json:"type"`
+	Size   int   `json:"size"`
+	Color  int   `json:"color"`
+}
+
+// jsonTask is the serialized task form.
+type jsonTask struct {
+	M         int         `json:"m"`
+	Rules     []string    `json:"rules"`
+	Context   []jsonPanel `json:"context"`
+	Choices   []jsonPanel `json:"choices"`
+	AnswerIdx int         `json:"answer_idx"`
+}
+
+func toJSONPanel(p raven.Panel) jsonPanel {
+	jp := jsonPanel{Number: p.NumberOf(), Type: p.Type, Size: p.Size, Color: p.Color}
+	for i, s := range p.Slots {
+		if s {
+			jp.Slots = append(jp.Slots, i)
+		}
+	}
+	return jp
+}
+
+func main() {
+	n := flag.Int("n", 1, "number of tasks to generate")
+	m := flag.Int("m", 3, "matrix dimension (2 or 3)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	g := tensor.NewRNG(*seed)
+	var tasks []jsonTask
+	for i := 0; i < *n; i++ {
+		t := raven.Generate(raven.Config{M: *m}, g)
+		if err := t.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "ravengen: generated invalid task:", err)
+			os.Exit(1)
+		}
+		jt := jsonTask{M: t.M, AnswerIdx: t.AnswerIdx}
+		for _, r := range t.Rules {
+			jt.Rules = append(jt.Rules, r.String())
+		}
+		for _, p := range t.Context {
+			jt.Context = append(jt.Context, toJSONPanel(p))
+		}
+		for _, p := range t.Choices {
+			jt.Choices = append(jt.Choices, toJSONPanel(p))
+		}
+		tasks = append(tasks, jt)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tasks); err != nil {
+		fmt.Fprintln(os.Stderr, "ravengen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package nsbench is a Go reproduction of "Towards Cognitive AI Systems:
+// Workload and Characterization of Neuro-Symbolic AI" (ISPASS 2024): seven
+// neuro-symbolic workloads, the tensor/VSA/fuzzy-logic substrate they run
+// on, an operator-level profiler implementing the paper's taxonomy, and
+// analytical hardware models that regenerate every figure and table of the
+// study. See README.md for the tour and DESIGN.md for the architecture.
+//
+// The root package is documentation-only; the library lives under
+// internal/ and the executables under cmd/.
+package nsbench

@@ -1,0 +1,52 @@
+// Edge deployment: project one NVSA and one NLM inference trace onto the
+// study's edge platforms (Jetson TX2, Xavier NX) and the discrete RTX 2080
+// Ti, then ask the paper's question: is real-time cognition feasible?
+//
+//	go run ./examples/edge-deployment
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+	"github.com/neurosym/nsbench/internal/workloads/nlm"
+	"github.com/neurosym/nsbench/internal/workloads/nvsa"
+)
+
+// realTimeBudget is a 10 Hz decision loop, a modest robotics target.
+const realTimeBudget = 100 * time.Millisecond
+
+func main() {
+	run := func(name string, runner interface {
+		Run(*ops.Engine) error
+	}) {
+		e := ops.New()
+		if err := runner.Run(e); err != nil {
+			log.Fatal(err)
+		}
+		tr := e.Trace()
+		fmt.Printf("%s — one inference, %d operators, host time %v\n", name, tr.Len(), tr.Duration())
+		fmt.Printf("  %-16s %14s %11s %11s %10s\n", "device", "latency", "symbolic%", "energy(J)", "10Hz-ok?")
+		for _, d := range hwsim.EdgeDevices() {
+			p := d.ProjectTrace(tr)
+			ok := "no"
+			if p.Total <= realTimeBudget {
+				ok = "yes"
+			}
+			fmt.Printf("  %-16s %14v %10.1f%% %11.2f %10s\n",
+				d.Name, p.Total, 100*p.PhaseShare(trace.Symbolic), p.EnergyJ, ok)
+		}
+		fmt.Println()
+	}
+
+	run("NVSA (abstract reasoning)", nvsa.New(nvsa.Config{}))
+	run("NLM (relational reasoning)", nlm.New(nlm.Config{Objects: 48}))
+
+	fmt.Println("takeaway: even when the neural frontend fits the budget, the")
+	fmt.Println("memory-bound symbolic backend keeps end-to-end latency far from")
+	fmt.Println("real-time on embedded platforms (paper Fig. 2b / Takeaway 1).")
+}

@@ -1,0 +1,60 @@
+// Raven reasoning: compare the two neuro-symbolic RPM solvers (NVSA and
+// PrAE) against the pure-neural baseline on freshly generated tasks,
+// reporting accuracy and per-task latency — the motivation experiment
+// behind the paper's introduction (NVSA 98.8% vs neural-only 53.4%).
+//
+//	go run ./examples/raven-reasoning
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/workloads/neural"
+	"github.com/neurosym/nsbench/internal/workloads/nvsa"
+	"github.com/neurosym/nsbench/internal/workloads/prae"
+)
+
+const tasks = 30
+
+func main() {
+	fmt.Printf("solving %d generated RAVEN tasks per model (3×3, low perception noise)\n\n", tasks)
+	fmt.Printf("%-16s %10s %14s\n", "model", "accuracy", "per-task")
+
+	type solver struct {
+		name string
+		run  func() float64
+	}
+	solvers := []solver{
+		{"NVSA", func() float64 {
+			// A modest dimensionality keeps the demo quick; reasoning
+			// accuracy is independent of it.
+			w := nvsa.New(nvsa.Config{Dim: 512, ImgSize: 16, Noise: 0.005, Seed: 7})
+			return w.SolveAccuracy(tasks)
+		}},
+		{"PrAE", func() float64 {
+			w := prae.New(prae.Config{ImgSize: 16, Noise: 0.005, Seed: 7})
+			return w.SolveAccuracy(tasks)
+		}},
+		{"NeuralBaseline", func() float64 {
+			w := neural.New(neural.Config{ImgSize: 16, Seed: 7})
+			return w.SolveAccuracy(tasks)
+		}},
+		{"Neural(trained)", func() float64 {
+			// Fit the scoring MLP with autograd on held-out tasks: even
+			// with supervision, a pattern matcher without rule abduction
+			// stays far below the neuro-symbolic solvers.
+			w := neural.New(neural.Config{ImgSize: 16, Seed: 7})
+			w.TrainScorer(24, 10, 0.05)
+			return w.SolveAccuracy(tasks)
+		}},
+	}
+	for _, s := range solvers {
+		start := time.Now()
+		acc := s.run()
+		per := time.Since(start) / tasks
+		fmt.Printf("%-16s %9.1f%% %14v\n", s.name, 100*acc, per)
+	}
+	fmt.Println("\nthe symbolic rule abduction is what closes the accuracy gap —")
+	fmt.Println("and what the characterization shows to be the latency bottleneck.")
+}

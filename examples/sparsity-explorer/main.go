@@ -1,0 +1,50 @@
+// Sparsity explorer: sweep the NVSA perception noise and watch the
+// effective sparsity of the symbolic probability stages respond — the
+// interactive companion to the paper's Fig. 5 (sparsity > 95% with
+// per-attribute variation).
+//
+//	go run ./examples/sparsity-explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/workloads/nvsa"
+)
+
+func main() {
+	attrs := []string{"number", "type", "size", "color"}
+	fmt.Printf("%-8s", "noise")
+	for _, a := range attrs {
+		fmt.Printf(" %10s", a)
+	}
+	fmt.Println("   (pmf_to_vsa stage sparsity)")
+
+	for _, noise := range []float64{0.005, 0.05, 0.2, 0.4} {
+		// The zero threshold stays fixed while the perception noise floor
+		// rises past it, eroding the measured effective sparsity.
+		w := nvsa.New(nvsa.Config{Dim: 512, ImgSize: 16, Noise: noise, SparsityEps: 0.01})
+		e := ops.New()
+		if err := w.Run(e); err != nil {
+			log.Fatal(err)
+		}
+		bySuffix := map[string]float64{}
+		for _, s := range e.Trace().ByStage() {
+			if stage, attr, ok := strings.Cut(s.Stage, ":"); ok && stage == "pmf_to_vsa" {
+				bySuffix[attr] = s.Sparsity
+			}
+		}
+		fmt.Printf("%-8.3f", noise)
+		for _, a := range attrs {
+			fmt.Printf(" %9.1f%%", 100*bySuffix[a])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nhigher perception noise spreads probability mass, eroding the")
+	fmt.Println("unstructured sparsity that sparsity-aware symbolic hardware would")
+	fmt.Println("exploit (paper Fig. 5 / Recommendation 7).")
+}

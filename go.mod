@@ -1,0 +1,3 @@
+module github.com/neurosym/nsbench
+
+go 1.22

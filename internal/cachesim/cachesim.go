@@ -1,0 +1,164 @@
+// Package cachesim implements a set-associative LRU cache hierarchy
+// simulator plus synthetic per-kernel address-stream generators.
+//
+// It stands in for the Nsight cache counters of the original study: each
+// operator class (tiled GEMM, streaming element-wise, irregular gather)
+// generates a characteristic address stream; running the stream through a
+// two-level hierarchy yields the L1/L2 hit rates and DRAM traffic the
+// Table-IV analysis reports.
+package cachesim
+
+import "fmt"
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	name     string
+	lineSize int
+	sets     int
+	ways     int
+	// tags[set][way] holds line tags; lru[set][way] holds recency counters.
+	tags [][]uint64
+	lru  [][]uint64
+	tick uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of the given total size (bytes), associativity
+// and line size. Size must be a multiple of ways*lineSize.
+func NewCache(name string, sizeBytes, ways, lineSize int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("cachesim: non-positive cache geometry")
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{
+		name:     name,
+		lineSize: lineSize,
+		sets:     sets,
+		ways:     ways,
+		tags:     make([][]uint64, sets),
+		lru:      make([][]uint64, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.lru[i] = make([]uint64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint64(0) // invalid
+		}
+	}
+	return c
+}
+
+// Name returns the level's label.
+func (c *Cache) Name() string { return c.name }
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Access touches the line containing addr. It returns true on hit. On miss
+// the line is installed with LRU replacement.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.Accesses++
+	line := addr / uint64(c.lineSize)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			c.lru[set][w] = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	// Replace the least recently used way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	ways[victim] = tag
+	c.lru[set][victim] = c.tick
+	return false
+}
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(c.Misses)/float64(c.Accesses)
+}
+
+// Reset clears statistics and contents.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint64(0)
+			c.lru[i][w] = 0
+		}
+	}
+	c.Accesses, c.Misses, c.tick = 0, 0, 0
+}
+
+// Hierarchy is an inclusive two-level cache hierarchy in front of DRAM.
+type Hierarchy struct {
+	L1, L2 *Cache
+	// DRAMBytes accumulates the traffic that missed in L2.
+	DRAMBytes uint64
+}
+
+// NewHierarchy builds a two-level hierarchy.
+func NewHierarchy(l1, l2 *Cache) *Hierarchy {
+	if l1.lineSize > l2.lineSize {
+		panic("cachesim: L1 line larger than L2 line")
+	}
+	return &Hierarchy{L1: l1, L2: l2}
+}
+
+// Access touches addr at L1; misses propagate to L2 and then DRAM.
+func (h *Hierarchy) Access(addr uint64) {
+	if h.L1.Access(addr) {
+		return
+	}
+	if h.L2.Access(addr) {
+		return
+	}
+	h.DRAMBytes += uint64(h.L2.lineSize)
+}
+
+// Stats summarizes a simulated stream.
+type Stats struct {
+	L1Accesses, L2Accesses uint64
+	L1HitRate, L2HitRate   float64
+	DRAMBytes              uint64
+}
+
+// Stats returns current statistics.
+func (h *Hierarchy) Stats() Stats {
+	return Stats{
+		L1Accesses: h.L1.Accesses,
+		L2Accesses: h.L2.Accesses,
+		L1HitRate:  h.L1.HitRate(),
+		L2HitRate:  h.L2.HitRate(),
+		DRAMBytes:  h.DRAMBytes,
+	}
+}
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.DRAMBytes = 0
+}
+
+// String renders the hierarchy's statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("L1 %.1f%% (%d acc), L2 %.1f%% (%d acc), DRAM %d B",
+		100*s.L1HitRate, s.L1Accesses, 100*s.L2HitRate, s.L2Accesses, s.DRAMBytes)
+}

@@ -1,0 +1,270 @@
+// Package core is the public heart of nsbench: it defines the workload
+// abstraction, the registry of the seven characterized neuro-symbolic
+// models, and the Characterize entry point that turns one workload run
+// into the full set of measurements behind the ISPASS 2024 study's figures
+// and tables — latency phase split (Fig. 2), operator-category breakdown
+// (Fig. 3a), memory behaviour (Fig. 3b), roofline placement (Fig. 3c),
+// dataflow/critical-path structure (Fig. 4), kernel-level hardware
+// counters (Tab. IV), and per-stage sparsity (Fig. 5).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/roofline"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Workload is one neuro-symbolic model instance that can execute a single
+// end-to-end inference on an instrumented engine.
+type Workload interface {
+	// Name returns the workload's short name (e.g. "NVSA").
+	Name() string
+	// Category returns its Kautz-taxonomy category (Table III).
+	Category() string
+	// Run executes one end-to-end inference, recording into e's trace.
+	Run(e *ops.Engine) error
+}
+
+// Report is the complete characterization of one workload run.
+type Report struct {
+	Name     string
+	Category string
+	Trace    *trace.Trace
+
+	// Latency (Fig. 2a).
+	Total         time.Duration
+	NeuralTime    time.Duration
+	SymbolicTime  time.Duration
+	SymbolicShare float64
+	// FLOP share, for the paper's "92.1% of time but 19% of FLOPs" point.
+	SymbolicFLOPShare float64
+
+	// Operator breakdown (Fig. 3a): per phase, per category duration share.
+	CategoryShare map[trace.Phase]map[trace.Category]float64
+
+	// Memory (Fig. 3b).
+	Memory MemoryReport
+
+	// Data movement (Takeaway 6): share of total time in movement events,
+	// and the host→device fraction of movement traffic.
+	MovementShare  float64
+	MovementH2DPct float64
+
+	// Roofline placement (Fig. 3c) on the reference device.
+	Roofline []roofline.Point
+
+	// Dataflow (Fig. 4).
+	Dataflow DataflowReport
+
+	// Per-stage statistics incl. sparsity (Fig. 5).
+	Stages []trace.StageStats
+
+	// Device projections (Fig. 2b).
+	Projections []hwsim.Projection
+}
+
+// MemoryReport summarizes allocation and storage behaviour.
+type MemoryReport struct {
+	NeuralAlloc    int64 // bytes allocated during the neural phase
+	SymbolicAlloc  int64 // bytes allocated during the symbolic phase
+	ParamsByKind   map[string]int64
+	TotalParams    int64
+	PeakNeuralOp   int64 // largest single-op traffic, neural
+	PeakSymbolicOp int64
+}
+
+// DataflowReport summarizes the operator dependency graph.
+type DataflowReport struct {
+	Events             int
+	Edges              int
+	Depth              int
+	MaxWidth           int
+	SequentialFraction float64
+	CriticalPathLen    int
+	CriticalPathDur    time.Duration
+	// Share of the critical path spent in each phase: quantifies
+	// "symbolic lies on the critical path".
+	CriticalPathPhase map[trace.Phase]float64
+	NeuralToSymbolic  int // cross-phase dependency edges
+	SymbolicToNeural  int
+}
+
+// Options configures Characterize.
+type Options struct {
+	// Device is the roofline/projection reference; zero value means
+	// RTX 2080 Ti (the paper's discrete GPU).
+	Device hwsim.Device
+	// ProjectDevices lists devices for Fig. 2b projections; nil means
+	// TX2, Xavier NX, RTX 2080 Ti.
+	ProjectDevices []hwsim.Device
+}
+
+func (o *Options) defaults() {
+	if o.Device.Name == "" {
+		o.Device = hwsim.RTX2080Ti
+	}
+	if o.ProjectDevices == nil {
+		o.ProjectDevices = hwsim.EdgeDevices()
+	}
+}
+
+// Characterize executes one inference of w on a fresh engine and derives
+// the full report.
+func Characterize(w Workload, opts Options) (*Report, error) {
+	opts.defaults()
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", w.Name(), err)
+	}
+	return Analyze(w.Name(), w.Category(), e.Trace(), opts), nil
+}
+
+// Analyze derives a report from an existing trace.
+func Analyze(name, category string, tr *trace.Trace, opts Options) *Report {
+	opts.defaults()
+	r := &Report{
+		Name:     name,
+		Category: category,
+		Trace:    tr,
+	}
+	r.Total = tr.Duration()
+	r.NeuralTime = tr.PhaseDuration(trace.Neural)
+	r.SymbolicTime = tr.PhaseDuration(trace.Symbolic)
+	r.SymbolicShare = tr.PhaseShare(trace.Symbolic)
+	r.SymbolicFLOPShare = tr.FLOPShare(trace.Symbolic)
+
+	r.CategoryShare = map[trace.Phase]map[trace.Category]float64{
+		trace.Neural:   tr.CategoryShare(trace.Neural),
+		trace.Symbolic: tr.CategoryShare(trace.Symbolic),
+	}
+
+	stats := tr.StatsByPhase()
+	r.Memory = MemoryReport{
+		NeuralAlloc:    stats[trace.Neural].Alloc,
+		SymbolicAlloc:  stats[trace.Symbolic].Alloc,
+		ParamsByKind:   tr.ParamBytesByKind(),
+		PeakNeuralOp:   stats[trace.Neural].PeakWork,
+		PeakSymbolicOp: stats[trace.Symbolic].PeakWork,
+	}
+	for _, b := range r.Memory.ParamsByKind {
+		r.Memory.TotalParams += b
+	}
+
+	// Data-movement attribution.
+	var moveDur time.Duration
+	var moveBytes, h2dBytes int64
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Category != trace.DataMovement {
+			continue
+		}
+		moveDur += e.Dur
+		moveBytes += e.Bytes
+		if e.Kernel == "memcpy_h2d" {
+			h2dBytes += e.Bytes
+		}
+	}
+	if r.Total > 0 {
+		r.MovementShare = float64(moveDur) / float64(r.Total)
+	}
+	if moveBytes > 0 {
+		r.MovementH2DPct = 100 * float64(h2dBytes) / float64(moveBytes)
+	}
+
+	// Roofline: place each phase's dominant kernel classes. Operational
+	// intensity is measured against DRAM traffic after the cache hierarchy
+	// (the paper's convention): the cache simulator filters each class's
+	// algorithmic traffic, which is what puts tiled GEMM/conv kernels in
+	// the compute-bound region while streaming symbolic kernels stay
+	// memory-bound.
+	model := roofline.Model{Name: opts.Device.Name, PeakGFLOPs: opts.Device.PeakFP32GFLOPs, MemBWGBs: opts.Device.MemBWGBs}
+	classLabel := map[hwsim.KernelClass]string{
+		hwsim.ClassGEMM:    "sgemm_nn",
+		hwsim.ClassEltwise: "vectorized_elem",
+	}
+	for _, p := range trace.Phases() {
+		for _, class := range []hwsim.KernelClass{hwsim.ClassGEMM, hwsim.ClassEltwise} {
+			var evs []trace.Event
+			for _, ev := range tr.Events {
+				if ev.Phase == p && hwsim.ClassifyKernel(ev.Kernel) == class {
+					evs = append(evs, ev)
+				}
+			}
+			if len(evs) == 0 {
+				continue
+			}
+			ks := opts.Device.KernelStats(classLabel[class], evs)
+			if ks.FLOPs == 0 || ks.Time <= 0 {
+				continue
+			}
+			dram := ks.DRAMBytes
+			if dram <= 0 {
+				dram = 1 // fully cache-resident: effectively unbounded AI
+			}
+			pt := model.Place(fmt.Sprintf("%s/%s/%s", name, p, class), ks.FLOPs, dram, ks.Time.Seconds())
+			r.Roofline = append(r.Roofline, pt)
+		}
+	}
+
+	// Dataflow.
+	g := trace.BuildGraph(tr)
+	path, dur := g.CriticalPath()
+	n2s, s2n := g.CrossPhaseEdges()
+	r.Dataflow = DataflowReport{
+		Events:             g.N,
+		Edges:              g.Edges(),
+		Depth:              g.Depth(),
+		MaxWidth:           g.MaxWidth(),
+		SequentialFraction: g.SequentialFraction(),
+		CriticalPathLen:    len(path),
+		CriticalPathDur:    dur,
+		CriticalPathPhase:  g.PathPhaseShare(path),
+		NeuralToSymbolic:   n2s,
+		SymbolicToNeural:   s2n,
+	}
+
+	r.Stages = tr.ByStage()
+
+	for _, d := range opts.ProjectDevices {
+		r.Projections = append(r.Projections, d.ProjectTrace(tr))
+	}
+	return r
+}
+
+// Builder constructs a fresh workload instance (workloads carry per-run
+// RNG state, so benchmarks build new instances per configuration).
+type Builder func() Workload
+
+// registry maps workload names to builders, in registration order.
+var (
+	registry      = map[string]Builder{}
+	registryOrder []string
+)
+
+// RegisterWorkload adds a builder under a name; duplicate names panic.
+func RegisterWorkload(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate workload %q", name))
+	}
+	registry[name] = b
+	registryOrder = append(registryOrder, name)
+}
+
+// WorkloadNames lists registered workloads in registration order.
+func WorkloadNames() []string { return append([]string(nil), registryOrder...) }
+
+// BuildWorkload constructs a registered workload.
+func BuildWorkload(name string) (Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		known := append([]string(nil), registryOrder...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("core: unknown workload %q (known: %v)", name, known)
+	}
+	return b(), nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecommendationAblations(t *testing.T) {
+	rec, err := RecommendationAblations([]int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rec 5: scheduling must help and stay within bounds.
+	if len(rec.Scheduling) != 3 {
+		t.Fatalf("scheduling rows = %d", len(rec.Scheduling))
+	}
+	s1, s4, s16 := rec.Scheduling[0], rec.Scheduling[1], rec.Scheduling[2]
+	if s1.Speedup > 1.001 {
+		t.Fatalf("1-unit speedup = %v", s1.Speedup)
+	}
+	if s4.Speedup < 1.3 {
+		t.Fatalf("4-unit speedup = %v, want parallel benefit (Rec 5)", s4.Speedup)
+	}
+	if s16.Makespan > s4.Makespan {
+		t.Fatal("more units must not slow the schedule")
+	}
+	if s16.Makespan < s16.CriticalPath {
+		t.Fatal("makespan below the dependency bound")
+	}
+
+	// Rec 2/6: the accelerator must beat the GPU on the same trace.
+	if rec.AccelSpeedX < 1.5 {
+		t.Fatalf("NS-Accel speedup = %v, want > 1.5 (Rec 2/6)", rec.AccelSpeedX)
+	}
+
+	// Rec 3: INT8 must cut traffic ~4x.
+	if r := rec.Quant.BytesReductionX(); r < 3.5 || r > 4.5 {
+		t.Fatalf("quantization traffic reduction = %v", r)
+	}
+
+	// Rec 7: sparsity-aware joints at one-hot-plus-floor PMFs must cut
+	// work by well over an order of magnitude.
+	if rec.Sparse.OpsReductionX() < 10 {
+		t.Fatalf("sparse ops reduction = %v", rec.Sparse.OpsReductionX())
+	}
+
+	// Rec 6 (NoC): three bandwidth points, monotonically cheaper.
+	if len(rec.NoC) != 3 {
+		t.Fatalf("NoC rows = %d", len(rec.NoC))
+	}
+	if rec.NoC[2].CommTime >= rec.NoC[0].CommTime {
+		t.Fatalf("wider NoC links must cut comm time: %v vs %v",
+			rec.NoC[2].CommTime, rec.NoC[0].CommTime)
+	}
+}
+
+func TestRenderRecommendations(t *testing.T) {
+	rec, err := RecommendationAblations([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderRecommendations(&buf, rec)
+	out := buf.String()
+	for _, want := range []string{"Rec 5", "Rec 2/6", "Rec 3", "Rec 7", "NS-Accel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered recommendations missing %q", want)
+		}
+	}
+}

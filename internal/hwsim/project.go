@@ -1,0 +1,88 @@
+package hwsim
+
+import (
+	"time"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// EventTime estimates the execution time of one trace event on the device:
+// the roofline-limited maximum of compute time and memory time under the
+// kernel class's efficiency factors, plus the launch overhead, plus
+// interconnect time for host↔device copies.
+func (d Device) EventTime(e *trace.Event) time.Duration {
+	class := ClassifyKernel(e.Kernel)
+	var effC, effM float64
+	switch class {
+	case ClassGEMM:
+		effC, effM = d.EffGEMM, d.EffEltwise
+	case ClassEltwise:
+		effC, effM = d.EffGEMM, d.EffEltwise
+	case ClassGather:
+		effC, effM = d.EffGEMM, d.EffGather
+	case ClassCopy:
+		effC, effM = d.EffGEMM, d.EffEltwise
+	default:
+		effC, effM = d.EffOther, d.EffGather
+	}
+	var tCompute, tMemory float64 // seconds
+	if e.FLOPs > 0 {
+		tCompute = float64(e.FLOPs) / (d.PeakFP32GFLOPs * effC * 1e9)
+	}
+	if e.Bytes > 0 {
+		tMemory = float64(e.Bytes) / (d.MemBWGBs * effM * 1e9)
+	}
+	t := tCompute
+	if tMemory > t {
+		t = tMemory
+	}
+	// Host↔device transfers cross the interconnect instead of DRAM
+	// (unified-memory devices have H2DGBs == 0 and keep the DRAM time).
+	if (e.Kernel == "memcpy_h2d" || e.Kernel == "memcpy_d2h") && d.H2DGBs > 0 {
+		t = float64(e.Bytes) / (d.H2DGBs * 1e9)
+	}
+	// Symbolic "Others" ops on throughput devices pay control-flow
+	// serialization already captured by EffOther; all kernels pay launch.
+	t += d.LaunchUs * 1e-6
+	return time.Duration(t * float64(time.Second))
+}
+
+// Projection summarizes a trace projected onto one device.
+type Projection struct {
+	Device   Device
+	Total    time.Duration
+	ByPhase  [2]time.Duration
+	EnergyJ  float64
+	Launches int
+}
+
+// ProjectTrace estimates a whole trace's execution on the device.
+func (d Device) ProjectTrace(t *trace.Trace) Projection {
+	p := Projection{Device: d}
+	for i := range t.Events {
+		e := &t.Events[i]
+		dt := d.EventTime(e)
+		p.Total += dt
+		p.ByPhase[e.Phase] += dt
+		p.Launches++
+	}
+	p.EnergyJ = p.Total.Seconds() * d.TDPWatts
+	return p
+}
+
+// PhaseShare returns the projected fraction of time in phase ph.
+func (p Projection) PhaseShare(ph trace.Phase) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.ByPhase[ph]) / float64(p.Total)
+}
+
+// Speedup returns how much faster this projection is than other
+// (>1 means this device is faster).
+func (p Projection) Speedup(other Projection) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(other.Total) / float64(p.Total)
+}

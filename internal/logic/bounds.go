@@ -1,0 +1,105 @@
+package logic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds is an LNN truth interval [L, U] ⊆ [0,1]: L is the established lower
+// bound on a statement's truth, U the upper bound. Unknown is [0,1]; exactly
+// true is [1,1]; contradictions have L > U.
+type Bounds struct {
+	L, U float64
+}
+
+// Unknown is the fully agnostic interval.
+func Unknown() Bounds { return Bounds{0, 1} }
+
+// True is the exactly-true interval.
+func True() Bounds { return Bounds{1, 1} }
+
+// False is the exactly-false interval.
+func False() Bounds { return Bounds{0, 0} }
+
+// Exactly returns the degenerate interval [v, v].
+func Exactly(v float64) Bounds { return Bounds{clamp01(v), clamp01(v)} }
+
+// Valid reports whether the interval is consistent (L ≤ U up to epsilon).
+func (b Bounds) Valid() bool { return b.L <= b.U+1e-9 }
+
+// Contradictory reports whether the bounds have crossed.
+func (b Bounds) Contradictory() bool { return !b.Valid() }
+
+// Width returns U - L, the residual uncertainty.
+func (b Bounds) Width() float64 { return b.U - b.L }
+
+// IsTrue reports whether the lower bound clears the given truth threshold.
+func (b Bounds) IsTrue(alpha float64) bool { return b.L >= alpha }
+
+// IsFalse reports whether the upper bound is below 1-alpha.
+func (b Bounds) IsFalse(alpha float64) bool { return b.U <= 1-alpha }
+
+// String renders the interval.
+func (b Bounds) String() string { return fmt.Sprintf("[%.3f, %.3f]", b.L, b.U) }
+
+// Tighten intersects two intervals for the same statement, as LNN does when
+// multiple proofs constrain one neuron.
+func (b Bounds) Tighten(o Bounds) Bounds {
+	return Bounds{math.Max(b.L, o.L), math.Min(b.U, o.U)}
+}
+
+// NotBounds negates an interval under Łukasiewicz semantics.
+func NotBounds(a Bounds) Bounds { return Bounds{1 - a.U, 1 - a.L} }
+
+// AndBounds conjoins two intervals with the Łukasiewicz t-norm applied
+// monotonically to each endpoint.
+func AndBounds(a, b Bounds) Bounds {
+	lk := Lukasiewicz{}
+	return Bounds{lk.TNorm(a.L, b.L), lk.TNorm(a.U, b.U)}
+}
+
+// OrBounds disjoins two intervals with the Łukasiewicz s-norm.
+func OrBounds(a, b Bounds) Bounds {
+	lk := Lukasiewicz{}
+	return Bounds{lk.SNorm(a.L, b.L), lk.SNorm(a.U, b.U)}
+}
+
+// ImpliesBounds computes bounds on a→b: the implication is antitone in the
+// antecedent, so the lower bound pairs a.U with b.L and the upper bound
+// pairs a.L with b.U.
+func ImpliesBounds(a, b Bounds) Bounds {
+	lk := Lukasiewicz{}
+	return Bounds{lk.Implies(a.U, b.L), lk.Implies(a.L, b.U)}
+}
+
+// ModusPonens performs the LNN downward pass for an implication a→b: given
+// bounds on the implication and the antecedent, it infers bounds on the
+// consequent. Under Łukasiewicz logic, b ≥ a.L + impl.L - 1.
+func ModusPonens(impl, a Bounds) Bounds {
+	l := math.Max(0, a.L+impl.L-1)
+	return Bounds{clamp01(l), 1}
+}
+
+// ModusTollens performs the complementary downward pass: given bounds on
+// the implication and the consequent, it infers an upper bound on the
+// antecedent. Under Łukasiewicz logic, a ≤ 1 - impl.L + b.U.
+func ModusTollens(impl, b Bounds) Bounds {
+	u := 1 - impl.L + b.U
+	return Bounds{0, clamp01(u)}
+}
+
+// ConjunctionDownward infers bounds on one conjunct from bounds on the
+// conjunction and the other conjunct: if (a∧b) ≥ L then a ≥ L (Łukasiewicz:
+// a ≥ conj.L since a+b-1 ≤ a when b ≤ 1, i.e. a ≥ conj.L + 1 - b.U ... the
+// tight form is a ≥ conj.L + 1 - b.U clamped).
+func ConjunctionDownward(conj, other Bounds) Bounds {
+	l := conj.L + 1 - other.U
+	return Bounds{clamp01(l), 1}
+}
+
+// DisjunctionDownward infers bounds on one disjunct from bounds on the
+// disjunction and the other disjunct: a ≥ disj.L - b.U, a ≤ disj.U.
+func DisjunctionDownward(disj, other Bounds) Bounds {
+	l := disj.L - other.U
+	return Bounds{clamp01(l), clamp01(disj.U)}
+}

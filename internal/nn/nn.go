@@ -1,0 +1,260 @@
+// Package nn provides neural-network layers on top of the instrumented ops
+// engine.
+//
+// The layers implement inference-time forward passes only: the
+// characterization study profiles inference, and a forward pass over
+// deterministically seeded weights has the same compute and memory
+// behaviour as one over trained weights (see DESIGN.md, substitutions).
+package nn
+
+import (
+	"fmt"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// Layer is a module with an instrumented forward pass.
+type Layer interface {
+	// Forward applies the layer to x using the engine e.
+	Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor
+	// Register records the layer's persistent parameters on the engine's
+	// trace for the storage-footprint analysis.
+	Register(e *ops.Engine)
+	// ParamBytes returns the total parameter storage in bytes.
+	ParamBytes() int64
+}
+
+// Linear is a fully connected layer computing x·Wᵀ + b over a batch.
+// Input is (batch × in); output is (batch × out).
+type Linear struct {
+	Name string
+	W    *tensor.Tensor // out × in
+	B    *tensor.Tensor // out (may be nil)
+	wT   *tensor.Tensor // in × out, cached transpose used by Forward
+}
+
+// NewLinear returns a Linear layer with Xavier-initialized weights.
+func NewLinear(g *tensor.RNG, name string, in, out int, bias bool) *Linear {
+	l := &Linear{
+		Name: name,
+		W:    g.Xavier(in, out, out, in),
+	}
+	if bias {
+		l.B = g.Uniform(-0.01, 0.01, out)
+	}
+	l.wT = tensor.Transpose(l.W)
+	return l
+}
+
+// Forward computes the affine map for a (batch × in) input.
+func (l *Linear) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Linear %q expects rank-2 input, got %v", l.Name, x.Shape()))
+	}
+	y := e.MatMul(x, l.wT)
+	if l.B != nil {
+		// Broadcast-add bias row-wise: materialize the broadcast so the
+		// traffic is accounted.
+		rows := make([]*tensor.Tensor, y.Dim(0))
+		for i := range rows {
+			rows[i] = l.B
+		}
+		bb := e.Stack(rows...)
+		y = e.Add(y, bb)
+	}
+	return y
+}
+
+// Register records the layer parameters.
+func (l *Linear) Register(e *ops.Engine) {
+	e.RegisterParam(l.Name+".weight", "weight", l.W)
+	if l.B != nil {
+		e.RegisterParam(l.Name+".bias", "weight", l.B)
+	}
+}
+
+// SetWeights replaces the layer parameters (e.g. after external training)
+// and refreshes the cached transpose used by Forward. bias may be nil.
+func (l *Linear) SetWeights(w, bias *tensor.Tensor) {
+	l.W = w
+	l.B = bias
+	l.wT = tensor.Transpose(w)
+}
+
+// ParamBytes returns the parameter storage of the layer.
+func (l *Linear) ParamBytes() int64 {
+	n := l.W.Bytes()
+	if l.B != nil {
+		n += l.B.Bytes()
+	}
+	return n
+}
+
+// Conv2d is a 2-D convolution layer over N×C×H×W inputs.
+type Conv2d struct {
+	Name        string
+	W           *tensor.Tensor // cout × cin × kh × kw
+	B           *tensor.Tensor // cout (may be nil)
+	Stride, Pad int
+}
+
+// NewConv2d returns a Conv2d layer with Xavier-initialized kernels.
+func NewConv2d(g *tensor.RNG, name string, cin, cout, k, stride, pad int) *Conv2d {
+	fan := cin * k * k
+	return &Conv2d{
+		Name:   name,
+		W:      g.Xavier(fan, cout*k*k, cout, cin, k, k),
+		B:      g.Uniform(-0.01, 0.01, cout),
+		Stride: stride,
+		Pad:    pad,
+	}
+}
+
+// Forward applies the convolution.
+func (c *Conv2d) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	return e.Conv2D(x, c.W, c.B, c.Stride, c.Pad)
+}
+
+// Register records the layer parameters.
+func (c *Conv2d) Register(e *ops.Engine) {
+	e.RegisterParam(c.Name+".weight", "weight", c.W)
+	if c.B != nil {
+		e.RegisterParam(c.Name+".bias", "weight", c.B)
+	}
+}
+
+// ParamBytes returns the parameter storage of the layer.
+func (c *Conv2d) ParamBytes() int64 {
+	n := c.W.Bytes()
+	if c.B != nil {
+		n += c.B.Bytes()
+	}
+	return n
+}
+
+// BatchNorm2d applies per-channel scale and shift using frozen statistics
+// (inference mode).
+type BatchNorm2d struct {
+	Name        string
+	Scale, Bias *tensor.Tensor // per-channel
+}
+
+// NewBatchNorm2d returns an inference-mode batch norm over c channels.
+func NewBatchNorm2d(g *tensor.RNG, name string, c int) *BatchNorm2d {
+	return &BatchNorm2d{
+		Name:  name,
+		Scale: g.Uniform(0.9, 1.1, c),
+		Bias:  g.Uniform(-0.05, 0.05, c),
+	}
+}
+
+// Forward applies y = x*scale[c] + bias[c] per channel.
+func (b *BatchNorm2d) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: BatchNorm2d %q expects rank-4 input, got %v", b.Name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	// Materialize the broadcast per-channel parameters once.
+	scale := tensor.New(n, c, h, w)
+	shift := tensor.New(n, c, h, w)
+	for bi := 0; bi < n; bi++ {
+		for ci := 0; ci < c; ci++ {
+			base := (bi*c + ci) * h * w
+			sv, bv := b.Scale.At(ci), b.Bias.At(ci)
+			for i := 0; i < h*w; i++ {
+				scale.Data()[base+i] = sv
+				shift.Data()[base+i] = bv
+			}
+		}
+	}
+	y := e.Mul(x, scale)
+	return e.Add(y, shift)
+}
+
+// Register records the layer parameters.
+func (b *BatchNorm2d) Register(e *ops.Engine) {
+	e.RegisterParam(b.Name+".scale", "weight", b.Scale)
+	e.RegisterParam(b.Name+".bias", "weight", b.Bias)
+}
+
+// ParamBytes returns the parameter storage of the layer.
+func (b *BatchNorm2d) ParamBytes() int64 { return b.Scale.Bytes() + b.Bias.Bytes() }
+
+// Activation wraps a parameter-free nonlinearity as a Layer.
+type Activation struct {
+	Name string
+	F    func(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor
+}
+
+// ReLU returns a ReLU activation layer.
+func ReLU() *Activation {
+	return &Activation{Name: "relu", F: func(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor { return e.ReLU(x) }}
+}
+
+// Sigmoid returns a sigmoid activation layer.
+func Sigmoid() *Activation {
+	return &Activation{Name: "sigmoid", F: func(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor { return e.Sigmoid(x) }}
+}
+
+// Tanh returns a tanh activation layer.
+func Tanh() *Activation {
+	return &Activation{Name: "tanh", F: func(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor { return e.Tanh(x) }}
+}
+
+// Forward applies the activation.
+func (a *Activation) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor { return a.F(e, x) }
+
+// Register is a no-op: activations have no parameters.
+func (a *Activation) Register(*ops.Engine) {}
+
+// ParamBytes returns 0.
+func (a *Activation) ParamBytes() int64 { return 0 }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies each layer in order.
+func (s *Sequential) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(e, x)
+	}
+	return x
+}
+
+// Register records all contained parameters.
+func (s *Sequential) Register(e *ops.Engine) {
+	for _, l := range s.Layers {
+		l.Register(e)
+	}
+}
+
+// ParamBytes sums the contained layers' parameter storage.
+func (s *Sequential) ParamBytes() int64 {
+	var n int64
+	for _, l := range s.Layers {
+		n += l.ParamBytes()
+	}
+	return n
+}
+
+// NewMLP builds a multi-layer perceptron with the given layer widths and
+// ReLU activations between hidden layers (none after the last).
+func NewMLP(g *tensor.RNG, name string, widths ...int) *Sequential {
+	if len(widths) < 2 {
+		panic("nn: NewMLP needs at least input and output widths")
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(widths); i++ {
+		layers = append(layers, NewLinear(g, fmt.Sprintf("%s.fc%d", name, i), widths[i], widths[i+1], true))
+		if i+2 < len(widths) {
+			layers = append(layers, ReLU())
+		}
+	}
+	return NewSequential(layers...)
+}

@@ -1,0 +1,181 @@
+// Package noc models an on-chip interconnect: a k×k mesh with XY routing
+// carrying the inter-operator tensor traffic of a recorded trace. It backs
+// the architecture-level part of the paper's Recommendation 6 — a
+// high-bandwidth NoC between heterogeneous neural and symbolic processing
+// units — by quantifying how much communication time a given placement and
+// link bandwidth cost.
+package noc
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Mesh is a k×k tile grid with XY (dimension-ordered) routing.
+type Mesh struct {
+	K         int     // mesh side; K² tiles
+	LinkBWGBs float64 // per-link bandwidth
+	HopNs     float64 // per-hop router latency
+}
+
+// Tiles returns the tile count.
+func (m Mesh) Tiles() int { return m.K * m.K }
+
+// Hops returns the XY route length between two tiles.
+func (m Mesh) Hops(a, b int) int {
+	ax, ay := a%m.K, a/m.K
+	bx, by := b%m.K, b/m.K
+	dx, dy := bx-ax, by-ay
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// route returns the directed link sequence of the XY route from a to b.
+// Links are identified by (fromTile, toTile) pairs encoded as from*K²+to.
+func (m Mesh) route(a, b int) []int {
+	var links []int
+	ax, ay := a%m.K, a/m.K
+	bx, by := b%m.K, b/m.K
+	x, y := ax, ay
+	step := func(nx, ny int) {
+		from := y*m.K + x
+		to := ny*m.K + nx
+		links = append(links, from*m.Tiles()+to)
+		x, y = nx, ny
+	}
+	for x != bx {
+		if bx > x {
+			step(x+1, y)
+		} else {
+			step(x-1, y)
+		}
+	}
+	for y != by {
+		if by > y {
+			step(x, y+1)
+		} else {
+			step(x, y-1)
+		}
+	}
+	return links
+}
+
+// Placement assigns each trace event (by index) to a tile.
+type Placement func(eventIdx int, ev *trace.Event) int
+
+// RoundRobin spreads events across all tiles in order.
+func RoundRobin(m Mesh) Placement {
+	return func(i int, _ *trace.Event) int { return i % m.Tiles() }
+}
+
+// PhasePartition places neural events on the left half of the mesh and
+// symbolic events on the right half — the heterogeneous
+// neural-unit/symbolic-unit floorplan of Recommendation 6. Within each
+// half, events round-robin.
+func PhasePartition(m Mesh) Placement {
+	halves := [2][]int{}
+	for t := 0; t < m.Tiles(); t++ {
+		if t%m.K < m.K/2 {
+			halves[0] = append(halves[0], t)
+		} else {
+			halves[1] = append(halves[1], t)
+		}
+	}
+	counters := [2]int{}
+	return func(_ int, ev *trace.Event) int {
+		h := 0
+		if ev.Phase == trace.Symbolic {
+			h = 1
+		}
+		pool := halves[h]
+		if len(pool) == 0 {
+			pool = halves[1-h]
+		}
+		t := pool[counters[h]%len(pool)]
+		counters[h]++
+		return t
+	}
+}
+
+// Analysis summarizes the communication cost of one placement.
+type Analysis struct {
+	Mesh         Mesh
+	Edges        int           // dependency edges considered
+	CrossEdges   int           // edges whose endpoints sit on different tiles
+	TotalBytes   int64         // bytes moved across the mesh
+	CommTime     time.Duration // serialized transfer + hop latency
+	AvgHops      float64       // mean hops per cross edge
+	MaxLinkBytes int64         // hottest link's traffic (congestion proxy)
+}
+
+// String renders the analysis.
+func (a Analysis) String() string {
+	return fmt.Sprintf("%dx%d @ %.0f GB/s: %d/%d cross edges, %s moved, comm %v, avg %.2f hops, hottest link %s",
+		a.Mesh.K, a.Mesh.K, a.Mesh.LinkBWGBs, a.CrossEdges, a.Edges,
+		fmtBytes(a.TotalBytes), a.CommTime, a.AvgHops, fmtBytes(a.MaxLinkBytes))
+}
+
+// Analyze routes every dependency edge of the trace over the mesh under
+// the placement and accumulates transfer cost. Transferred volume per edge
+// is the producing event's output allocation (the tensor handed over).
+func Analyze(tr *trace.Trace, m Mesh, place Placement) Analysis {
+	g := trace.BuildGraph(tr)
+	tile := make([]int, g.N)
+	for i := 0; i < g.N; i++ {
+		tile[i] = place(i, g.Event(i))
+	}
+	out := Analysis{Mesh: m}
+	linkBytes := map[int]int64{}
+	var hops int
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			out.Edges++
+			if tile[u] == tile[v] {
+				continue
+			}
+			out.CrossEdges++
+			bytes := g.Event(u).Alloc
+			if bytes == 0 {
+				bytes = 64 // control-only dependency: a cache line
+			}
+			out.TotalBytes += bytes
+			h := m.Hops(tile[u], tile[v])
+			hops += h
+			seconds := float64(bytes)/(m.LinkBWGBs*1e9) + float64(h)*m.HopNs*1e-9
+			out.CommTime += time.Duration(seconds * float64(time.Second))
+			for _, l := range m.route(tile[u], tile[v]) {
+				linkBytes[l] += bytes
+			}
+		}
+	}
+	if out.CrossEdges > 0 {
+		out.AvgHops = float64(hops) / float64(out.CrossEdges)
+	}
+	for _, b := range linkBytes {
+		if b > out.MaxLinkBytes {
+			out.MaxLinkBytes = b
+		}
+	}
+	return out
+}
+
+// fmtBytes renders a byte count in human units.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

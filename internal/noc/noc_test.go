@@ -1,0 +1,122 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestHopsXY(t *testing.T) {
+	m := Mesh{K: 4}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},  // same row
+		{0, 12, 3}, // same column
+		{0, 15, 6}, // opposite corner
+		{5, 10, 2}, // (1,1) → (2,2)
+		{15, 0, 6}, // symmetric
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Fatalf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteLengthMatchesHops(t *testing.T) {
+	m := Mesh{K: 5}
+	for a := 0; a < m.Tiles(); a += 3 {
+		for b := 0; b < m.Tiles(); b += 4 {
+			if got := len(m.route(a, b)); got != m.Hops(a, b) {
+				t.Fatalf("route(%d,%d) length %d != hops %d", a, b, got, m.Hops(a, b))
+			}
+		}
+	}
+}
+
+// pipelineTrace builds a producer→consumer chain with given per-event alloc.
+func pipelineTrace(n int, alloc int64) *trace.Trace {
+	tr := trace.New()
+	for i := 0; i < n; i++ {
+		ev := trace.Event{Name: "op", Dur: time.Millisecond, Alloc: alloc, Outputs: []uint64{uint64(i + 1)}}
+		if i > 0 {
+			ev.Inputs = []uint64{uint64(i)}
+		}
+		if i%2 == 1 {
+			ev.Phase = trace.Symbolic
+		}
+		tr.Append(ev)
+	}
+	return tr
+}
+
+func TestAnalyzeRoundRobinChain(t *testing.T) {
+	tr := pipelineTrace(8, 1<<20)
+	m := Mesh{K: 2, LinkBWGBs: 100, HopNs: 5}
+	a := Analyze(tr, m, RoundRobin(m))
+	if a.Edges != 7 {
+		t.Fatalf("edges = %d", a.Edges)
+	}
+	// Round-robin over 4 tiles: every chain edge crosses tiles.
+	if a.CrossEdges != 7 {
+		t.Fatalf("cross edges = %d", a.CrossEdges)
+	}
+	if a.TotalBytes != 7<<20 {
+		t.Fatalf("bytes = %d", a.TotalBytes)
+	}
+	if a.CommTime <= 0 || a.AvgHops <= 0 || a.MaxLinkBytes == 0 {
+		t.Fatalf("analysis incomplete: %+v", a)
+	}
+	if !strings.Contains(a.String(), "cross edges") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestBandwidthMonotonicity(t *testing.T) {
+	tr := pipelineTrace(16, 4<<20)
+	slow := Analyze(tr, Mesh{K: 4, LinkBWGBs: 64, HopNs: 5}, RoundRobin(Mesh{K: 4}))
+	fast := Analyze(tr, Mesh{K: 4, LinkBWGBs: 1024, HopNs: 5}, RoundRobin(Mesh{K: 4}))
+	if fast.CommTime >= slow.CommTime {
+		t.Fatalf("higher bandwidth must reduce comm time: %v vs %v", fast.CommTime, slow.CommTime)
+	}
+}
+
+func TestPhasePartitionLocality(t *testing.T) {
+	// All-neural traffic placed on one half crosses fewer tiles than
+	// round-robin placement across the whole mesh.
+	tr := trace.New()
+	for i := 0; i < 32; i++ {
+		ev := trace.Event{Name: "n", Phase: trace.Neural, Dur: time.Millisecond, Alloc: 1 << 16, Outputs: []uint64{uint64(i + 1)}}
+		if i > 0 {
+			ev.Inputs = []uint64{uint64(i)}
+		}
+		tr.Append(ev)
+	}
+	m := Mesh{K: 4, LinkBWGBs: 100, HopNs: 5}
+	part := Analyze(tr, m, PhasePartition(m))
+	rr := Analyze(tr, m, RoundRobin(m))
+	if part.AvgHops >= rr.AvgHops {
+		t.Fatalf("partitioned placement should shorten routes: %v vs %v hops", part.AvgHops, rr.AvgHops)
+	}
+}
+
+func TestControlEdgesCostALine(t *testing.T) {
+	tr := pipelineTrace(2, 0) // zero alloc → 64-byte control transfer
+	m := Mesh{K: 2, LinkBWGBs: 100, HopNs: 5}
+	a := Analyze(tr, m, RoundRobin(m))
+	if a.TotalBytes != 64 {
+		t.Fatalf("control edge bytes = %d, want 64", a.TotalBytes)
+	}
+}
+
+func TestSameTilePlacementFree(t *testing.T) {
+	tr := pipelineTrace(8, 1<<20)
+	m := Mesh{K: 2, LinkBWGBs: 100, HopNs: 5}
+	all0 := func(int, *trace.Event) int { return 0 }
+	a := Analyze(tr, m, all0)
+	if a.CrossEdges != 0 || a.CommTime != 0 {
+		t.Fatalf("co-located placement must be free: %+v", a)
+	}
+}

@@ -1,0 +1,235 @@
+package ops
+
+import (
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// binary records a two-operand element-wise operator (kernel class
+// "vectorized_elem", matching the NVSA symbolic kernel of Table IV).
+func (e *Engine) binary(name string, a, b *tensor.Tensor, f func(a, b *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     name,
+		kernel:   "vectorized_elem",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsEltwise(a.Size(), 1),
+		bytes:    tensor.BytesEltwiseBinary(a.Size()),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a, b)} }))
+}
+
+// unary records a one-operand element-wise operator (kernel class
+// "elementwise").
+func (e *Engine) unary(name string, a *tensor.Tensor, flopsPerElem int, f func(a *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     name,
+		kernel:   "elementwise",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsEltwise(a.Size(), flopsPerElem),
+		bytes:    tensor.BytesEltwiseUnary(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a)} }))
+}
+
+// Add records an instrumented element-wise addition.
+func (e *Engine) Add(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Add", a, b, tensor.Add) }
+
+// Sub records an instrumented element-wise subtraction.
+func (e *Engine) Sub(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Sub", a, b, tensor.Sub) }
+
+// Mul records an instrumented Hadamard product.
+func (e *Engine) Mul(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Mul", a, b, tensor.Mul) }
+
+// Div records an instrumented element-wise division.
+func (e *Engine) Div(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Div", a, b, tensor.Div) }
+
+// Minimum records an instrumented element-wise minimum.
+func (e *Engine) Minimum(a, b *tensor.Tensor) *tensor.Tensor {
+	return e.binary("Minimum", a, b, tensor.Minimum)
+}
+
+// Maximum records an instrumented element-wise maximum.
+func (e *Engine) Maximum(a, b *tensor.Tensor) *tensor.Tensor {
+	return e.binary("Maximum", a, b, tensor.Maximum)
+}
+
+// AddScalar records an instrumented scalar addition.
+func (e *Engine) AddScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
+	return e.unary("AddScalar", a, 1, func(t *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(t, s) })
+}
+
+// MulScalar records an instrumented scalar multiplication.
+func (e *Engine) MulScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
+	return e.unary("MulScalar", a, 1, func(t *tensor.Tensor) *tensor.Tensor { return tensor.MulScalar(t, s) })
+}
+
+// Neg records an instrumented negation.
+func (e *Engine) Neg(a *tensor.Tensor) *tensor.Tensor { return e.unary("Neg", a, 1, tensor.Neg) }
+
+// Abs records an instrumented absolute value.
+func (e *Engine) Abs(a *tensor.Tensor) *tensor.Tensor { return e.unary("Abs", a, 1, tensor.Abs) }
+
+// Sign records an instrumented sign extraction.
+func (e *Engine) Sign(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sign", a, 1, tensor.Sign) }
+
+// Exp records an instrumented exponential.
+func (e *Engine) Exp(a *tensor.Tensor) *tensor.Tensor { return e.unary("Exp", a, 4, tensor.Exp) }
+
+// Log records an instrumented natural logarithm.
+func (e *Engine) Log(a *tensor.Tensor) *tensor.Tensor { return e.unary("Log", a, 4, tensor.Log) }
+
+// Sqrt records an instrumented square root.
+func (e *Engine) Sqrt(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sqrt", a, 2, tensor.Sqrt) }
+
+// Pow records an instrumented power.
+func (e *Engine) Pow(a *tensor.Tensor, p float32) *tensor.Tensor {
+	return e.unary("Pow", a, 8, func(t *tensor.Tensor) *tensor.Tensor { return tensor.Pow(t, p) })
+}
+
+// Clamp records an instrumented clamp.
+func (e *Engine) Clamp(a *tensor.Tensor, lo, hi float32) *tensor.Tensor {
+	return e.unary("Clamp", a, 2, func(t *tensor.Tensor) *tensor.Tensor { return tensor.Clamp(t, lo, hi) })
+}
+
+// ReLU records an instrumented rectified linear unit (kernel "relu_nn",
+// matching the Table-IV neural kernel).
+func (e *Engine) ReLU(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "ReLU",
+		kernel:   "relu_nn",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsEltwise(a.Size(), 1),
+		bytes:    tensor.BytesEltwiseUnary(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.ReLU(a)} }))
+}
+
+// LeakyReLU records an instrumented leaky ReLU.
+func (e *Engine) LeakyReLU(a *tensor.Tensor, alpha float32) *tensor.Tensor {
+	return e.unary("LeakyReLU", a, 2, func(t *tensor.Tensor) *tensor.Tensor { return tensor.LeakyReLU(t, alpha) })
+}
+
+// Sigmoid records an instrumented sigmoid.
+func (e *Engine) Sigmoid(a *tensor.Tensor) *tensor.Tensor {
+	return e.unary("Sigmoid", a, 5, tensor.Sigmoid)
+}
+
+// Tanh records an instrumented tanh.
+func (e *Engine) Tanh(a *tensor.Tensor) *tensor.Tensor { return e.unary("Tanh", a, 5, tensor.Tanh) }
+
+// Greater records an instrumented element-wise comparison.
+func (e *Engine) Greater(a, b *tensor.Tensor) *tensor.Tensor {
+	return e.binary("Greater", a, b, tensor.Greater)
+}
+
+// Where records an instrumented conditional select.
+func (e *Engine) Where(cond, a, b *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Where",
+		kernel:   "vectorized_elem",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsEltwise(a.Size(), 1),
+		bytes:    4 * 4 * int64(a.Size()),
+		inputs:   []*tensor.Tensor{cond, a, b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Where(cond, a, b)} }))
+}
+
+// Dot records an instrumented inner product and returns it as a scalar tensor.
+func (e *Engine) Dot(a, b *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Dot",
+		kernel:   "vectorized_elem",
+		category: trace.VectorEltwise,
+		flops:    2 * int64(a.Size()),
+		bytes:    tensor.BytesEltwiseBinary(a.Size()),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Scalar(tensor.Dot(a, b))} }))
+}
+
+// CosineSimilarity records an instrumented cosine similarity as a scalar tensor.
+func (e *Engine) CosineSimilarity(a, b *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "CosineSimilarity",
+		kernel:   "vectorized_elem",
+		category: trace.VectorEltwise,
+		flops:    6 * int64(a.Size()),
+		bytes:    tensor.BytesEltwiseBinary(a.Size()),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Scalar(tensor.CosineSimilarity(a, b))} }))
+}
+
+// Softmax records an instrumented softmax over the last axis.
+func (e *Engine) Softmax(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Softmax",
+		kernel:   "softmax",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsSoftmax(a.Size()),
+		bytes:    tensor.BytesEltwiseUnary(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Softmax(a)} }))
+}
+
+// LogSoftmax records an instrumented log-softmax over the last axis.
+func (e *Engine) LogSoftmax(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "LogSoftmax",
+		kernel:   "softmax",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsSoftmax(a.Size()),
+		bytes:    tensor.BytesEltwiseUnary(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.LogSoftmax(a)} }))
+}
+
+// Normalize records an instrumented L2 normalization.
+func (e *Engine) Normalize(a *tensor.Tensor) *tensor.Tensor {
+	return e.unary("Normalize", a, 3, tensor.Normalize)
+}
+
+// NormalizeL1 records an instrumented L1 normalization.
+func (e *Engine) NormalizeL1(a *tensor.Tensor) *tensor.Tensor {
+	return e.unary("NormalizeL1", a, 3, tensor.NormalizeL1)
+}
+
+// SumAxis records an instrumented axis reduction.
+func (e *Engine) SumAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("SumAxis", a, axis, tensor.SumAxis)
+}
+
+// MeanAxis records an instrumented mean reduction.
+func (e *Engine) MeanAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("MeanAxis", a, axis, tensor.MeanAxis)
+}
+
+// MaxAxis records an instrumented max reduction.
+func (e *Engine) MaxAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("MaxAxis", a, axis, tensor.MaxAxis)
+}
+
+// MinAxis records an instrumented min reduction.
+func (e *Engine) MinAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("MinAxis", a, axis, tensor.MinAxis)
+}
+
+// ProdAxis records an instrumented product reduction.
+func (e *Engine) ProdAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("ProdAxis", a, axis, tensor.ProdAxis)
+}
+
+func (e *Engine) reduce(name string, a *tensor.Tensor, axis int, f func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
+	outN := a.Size() / max(a.Dim(axis), 1)
+	return one(e.record(op{
+		name:     name,
+		kernel:   "reduce",
+		category: trace.VectorEltwise,
+		flops:    tensor.FlopsReduce(a.Size()),
+		bytes:    tensor.BytesReduce(a.Size(), outN),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a, axis)} }))
+}
+
+// ArgMaxAxis records an instrumented arg-max reduction.
+func (e *Engine) ArgMaxAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
+	return e.reduce("ArgMaxAxis", a, axis, tensor.ArgMaxAxis)
+}

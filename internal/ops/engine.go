@@ -1,0 +1,141 @@
+// Package ops provides the instrumented execution engine used by every
+// nsbench workload.
+//
+// Engine wraps the raw tensor kernels with profiling: each call is timed,
+// annotated with the paper's operator taxonomy category, the active
+// neural/symbolic phase, analytic FLOP/byte costs, allocation volume,
+// output sparsity, and tensor-level dependencies, and appended to a
+// trace.Trace. The engine is what turns a workload run into the data
+// behind every figure and table of the characterization study.
+package ops
+
+import (
+	"time"
+
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Engine executes tensor operations while recording a trace. An Engine is
+// not safe for concurrent use; each workload run owns one engine.
+type Engine struct {
+	tr    *trace.Trace
+	phase trace.Phase
+	stage string
+
+	// measureSparsity controls whether output sparsity is computed for
+	// every event (an O(n) pass over each output). Workload stages that
+	// feed the sparsity analysis enable it explicitly.
+	measureSparsity bool
+	sparsityEps     float32
+}
+
+// New returns an engine recording into a fresh trace, starting in the
+// neural phase.
+func New() *Engine {
+	return &Engine{tr: trace.New(), phase: trace.Neural, sparsityEps: 1e-6}
+}
+
+// Trace returns the engine's trace.
+func (e *Engine) Trace() *trace.Trace { return e.tr }
+
+// SetPhase switches the active phase; subsequent events carry it.
+func (e *Engine) SetPhase(p trace.Phase) { e.phase = p }
+
+// Phase returns the active phase.
+func (e *Engine) Phase() trace.Phase { return e.phase }
+
+// InPhase runs f with the given phase active, then restores the previous one.
+func (e *Engine) InPhase(p trace.Phase, f func()) {
+	old := e.phase
+	e.phase = p
+	defer func() { e.phase = old }()
+	f()
+}
+
+// SetStage labels subsequent events with a workload-defined stage name
+// (""" clears it). Stages drive the per-stage sparsity analysis (Fig. 5).
+func (e *Engine) SetStage(s string) { e.stage = s }
+
+// InStage runs f with the given stage label, restoring the previous one.
+func (e *Engine) InStage(s string, f func()) {
+	old := e.stage
+	e.stage = s
+	defer func() { e.stage = old }()
+	f()
+}
+
+// MeasureSparsity toggles per-event output sparsity measurement.
+func (e *Engine) MeasureSparsity(on bool) { e.measureSparsity = on }
+
+// SetSparsityEps sets the magnitude below which an element counts as zero
+// for sparsity measurement. Probabilistic workloads whose tensors carry a
+// uniform noise floor raise this to the floor to measure effective
+// sparsity, matching the paper's usage.
+func (e *Engine) SetSparsityEps(eps float32) { e.sparsityEps = eps }
+
+// RegisterParam records a persistent parameter (weights, codebook, rules)
+// for the storage-footprint analysis.
+func (e *Engine) RegisterParam(name, kind string, t *tensor.Tensor) {
+	e.tr.RegisterParam(trace.Param{Name: name, Phase: e.phase, Kind: kind, Bytes: t.Bytes()})
+}
+
+// RegisterParamBytes records a persistent non-tensor parameter by size.
+func (e *Engine) RegisterParamBytes(name, kind string, bytes int64) {
+	e.tr.RegisterParam(trace.Param{Name: name, Phase: e.phase, Kind: kind, Bytes: bytes})
+}
+
+// op describes one instrumented call.
+type op struct {
+	name     string
+	kernel   string
+	category trace.Category
+	flops    int64
+	bytes    int64
+	inputs   []*tensor.Tensor
+}
+
+// record times f, derives the event from the op description and the result,
+// and appends it to the trace. run must return the produced tensors (may be
+// empty for side-effect-only operators).
+func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
+	start := time.Now()
+	outs := run()
+	dur := time.Since(start)
+
+	ev := trace.Event{
+		Name:     o.name,
+		Kernel:   o.kernel,
+		Stage:    e.stage,
+		Category: o.category,
+		Phase:    e.phase,
+		Dur:      dur,
+		FLOPs:    o.flops,
+		Bytes:    o.bytes,
+		Sparsity: -1,
+	}
+	for _, in := range o.inputs {
+		if in != nil {
+			ev.Inputs = append(ev.Inputs, in.ID())
+		}
+	}
+	var alloc int64
+	for _, out := range outs {
+		if out == nil {
+			continue
+		}
+		ev.Outputs = append(ev.Outputs, out.ID())
+		alloc += out.Bytes()
+	}
+	ev.Alloc = alloc
+	// Sparsity is measured on the primary output when it is a real tensor;
+	// scalars carry no sparsity structure and would distort stage averages.
+	if e.measureSparsity && len(outs) > 0 && outs[0] != nil && outs[0].Size() > 1 {
+		ev.Sparsity = outs[0].Sparsity(e.sparsityEps)
+	}
+	e.tr.Append(ev)
+	return outs
+}
+
+// one unwraps a single-output record call.
+func one(outs []*tensor.Tensor) *tensor.Tensor { return outs[0] }

@@ -1,0 +1,264 @@
+package ops
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/sparse"
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestEngineRecordsEvents(t *testing.T) {
+	e := New()
+	a := tensor.Ones(2, 3)
+	b := tensor.Ones(3, 4)
+	c := e.MatMul(a, b)
+	if c.Dim(0) != 2 || c.Dim(1) != 4 || c.At(0, 0) != 3 {
+		t.Fatalf("MatMul result wrong: %v", c.Data())
+	}
+	tr := e.Trace()
+	if tr.Len() != 1 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+	ev := tr.Events[0]
+	if ev.Name != "MatMul" || ev.Kernel != "sgemm_nn" || ev.Category != trace.MatMul {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.FLOPs != tensor.FlopsMatMul(2, 3, 4) {
+		t.Fatalf("FLOPs = %d", ev.FLOPs)
+	}
+	if len(ev.Inputs) != 2 || len(ev.Outputs) != 1 || ev.Outputs[0] != c.ID() {
+		t.Fatalf("IDs not tracked: %+v", ev)
+	}
+	if ev.Alloc != c.Bytes() {
+		t.Fatalf("Alloc = %d, want %d", ev.Alloc, c.Bytes())
+	}
+	if ev.Dur <= 0 {
+		t.Fatal("duration not measured")
+	}
+}
+
+func TestPhaseAndStageScoping(t *testing.T) {
+	e := New()
+	if e.Phase() != trace.Neural {
+		t.Fatal("engine must start in neural phase")
+	}
+	a := tensor.Ones(4)
+	e.InPhase(trace.Symbolic, func() {
+		e.InStage("bind", func() {
+			e.Add(a, a)
+		})
+		e.Mul(a, a)
+	})
+	e.ReLU(a)
+	evs := e.Trace().Events
+	if evs[0].Phase != trace.Symbolic || evs[0].Stage != "bind" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Phase != trace.Symbolic || evs[1].Stage != "" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Phase != trace.Neural {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+}
+
+func TestSparsityMeasurement(t *testing.T) {
+	e := New()
+	a := tensor.FromSlice([]float32{-1, -2, 3, 4}, 4)
+	e.MeasureSparsity(true)
+	r := e.ReLU(a)
+	if r.Sparsity(0) != 0.5 {
+		t.Fatalf("output sparsity = %v", r.Sparsity(0))
+	}
+	ev := e.Trace().Events[0]
+	if ev.Sparsity != 0.5 {
+		t.Fatalf("recorded sparsity = %v", ev.Sparsity)
+	}
+	e.MeasureSparsity(false)
+	e.ReLU(a)
+	if e.Trace().Events[1].Sparsity != -1 {
+		t.Fatal("sparsity should be unmeasured (-1) when disabled")
+	}
+}
+
+func TestConvEventCosts(t *testing.T) {
+	e := New()
+	g := tensor.NewRNG(1)
+	in := g.Normal(0, 1, 1, 3, 8, 8)
+	w := g.Normal(0, 1, 4, 3, 3, 3)
+	out := e.Conv2D(in, w, nil, 1, 1)
+	if out.Dim(1) != 4 || out.Dim(2) != 8 {
+		t.Fatalf("conv output shape = %v", out.Shape())
+	}
+	ev := e.Trace().Events[0]
+	if ev.Category != trace.Convolution || ev.Kernel != "conv2d" {
+		t.Fatalf("conv event = %+v", ev)
+	}
+	if ev.FLOPs != tensor.FlopsConv2D(1, 3, 4, 8, 8, 3, 3) {
+		t.Fatalf("conv FLOPs = %d", ev.FLOPs)
+	}
+}
+
+func TestEltwiseKernelsAndCategories(t *testing.T) {
+	e := New()
+	a := tensor.Ones(8)
+	e.Add(a, a)
+	e.ReLU(a)
+	e.Exp(a)
+	e.Softmax(a)
+	evs := e.Trace().Events
+	if evs[0].Kernel != "vectorized_elem" || evs[1].Kernel != "relu_nn" || evs[2].Kernel != "elementwise" {
+		t.Fatalf("kernels = %s %s %s", evs[0].Kernel, evs[1].Kernel, evs[2].Kernel)
+	}
+	for _, ev := range evs {
+		if ev.Category != trace.VectorEltwise {
+			t.Fatalf("category = %v", ev.Category)
+		}
+	}
+}
+
+func TestTransformAndMovement(t *testing.T) {
+	e := New()
+	a := tensor.Ones(2, 3)
+	e.Transpose(a)
+	e.Copy(a)
+	e.HostToDevice(a)
+	e.DeviceToHost(a)
+	e.Gather(a, []int{1, 0})
+	evs := e.Trace().Events
+	if evs[0].Category != trace.DataTransform {
+		t.Fatalf("Transpose category = %v", evs[0].Category)
+	}
+	for i := 1; i <= 3; i++ {
+		if evs[i].Category != trace.DataMovement {
+			t.Fatalf("movement category = %v", evs[i].Category)
+		}
+	}
+	if evs[2].Kernel != "memcpy_h2d" || evs[3].Kernel != "memcpy_d2h" {
+		t.Fatalf("memcpy kernels = %s, %s", evs[2].Kernel, evs[3].Kernel)
+	}
+	if evs[4].Category != trace.DataTransform || evs[4].Kernel != "gather" {
+		t.Fatalf("gather event = %+v", evs[4])
+	}
+}
+
+func TestReductionsAndArgMax(t *testing.T) {
+	e := New()
+	a := tensor.FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	s := e.SumAxis(a, 1)
+	if s.At(0) != 8 || s.At(1) != 12 {
+		t.Fatalf("SumAxis = %v", s.Data())
+	}
+	am := e.ArgMaxAxis(a, 1)
+	if am.At(0) != 1 || am.At(1) != 0 {
+		t.Fatalf("ArgMaxAxis = %v", am.Data())
+	}
+	for _, ev := range e.Trace().Events {
+		if ev.Kernel != "reduce" {
+			t.Fatalf("reduce kernel = %s", ev.Kernel)
+		}
+	}
+}
+
+func TestCircularOpsAndLogic(t *testing.T) {
+	e := New()
+	e.SetPhase(trace.Symbolic)
+	g := tensor.NewRNG(2)
+	a, b := g.HRRVector(128), g.HRRVector(128)
+	bound := e.CircularConv(a, b)
+	_ = e.CircularCorr(a, bound)
+	out := e.LogicScalar("RuleCheck", 100, 50, []*tensor.Tensor{bound}, func() float32 { return 0.75 })
+	if out.Item() != 0.75 {
+		t.Fatalf("LogicScalar = %v", out.Item())
+	}
+	evs := e.Trace().Events
+	if evs[0].Name != "CircularConv" || evs[0].Category != trace.VectorEltwise {
+		t.Fatalf("circconv event = %+v", evs[0])
+	}
+	if evs[2].Category != trace.Other || evs[2].Kernel != "logic" {
+		t.Fatalf("logic event = %+v", evs[2])
+	}
+	if evs[2].FLOPs != 100 || evs[2].Bytes != 50 {
+		t.Fatalf("logic costs = %d, %d", evs[2].FLOPs, evs[2].Bytes)
+	}
+}
+
+func TestSparseOps(t *testing.T) {
+	e := New()
+	m := sparse.NewCOO(3, 3)
+	m.Append(0, 0, 2)
+	m.Append(1, 2, 1)
+	m.Append(1, 2, 1) // duplicate for coalesce
+	if merged := e.Coalesce(m); merged != 1 {
+		t.Fatalf("Coalesce merged = %d", merged)
+	}
+	csr := m.ToCSR()
+	x := tensor.Ones(3)
+	y := e.SpMV(csr, x)
+	if y.At(0) != 2 || y.At(1) != 2 {
+		t.Fatalf("SpMV = %v", y.Data())
+	}
+	b := tensor.Ones(3, 2)
+	z := e.SpMM(csr, b)
+	if z.At(1, 0) != 2 {
+		t.Fatalf("SpMM = %v", z.Data())
+	}
+	evs := e.Trace().Events
+	if evs[0].Name != "Coalesce" || evs[0].Category != trace.DataTransform {
+		t.Fatalf("coalesce event = %+v", evs[0])
+	}
+	if evs[1].Category != trace.MatMul || evs[2].Category != trace.MatMul {
+		t.Fatal("sparse matmul category wrong")
+	}
+}
+
+func TestRegisterParams(t *testing.T) {
+	e := New()
+	w := tensor.Ones(10, 10)
+	e.RegisterParam("fc1", "weight", w)
+	e.SetPhase(trace.Symbolic)
+	e.RegisterParamBytes("codebook", "codebook", 4096)
+	m := e.Trace().ParamBytesByKind()
+	if m["weight"] != 400 || m["codebook"] != 4096 {
+		t.Fatalf("param bytes = %v", m)
+	}
+	ps := e.Trace().Params()
+	if ps[0].Phase != trace.Neural || ps[1].Phase != trace.Symbolic {
+		t.Fatal("param phases wrong")
+	}
+}
+
+func TestGraphFromEngineTrace(t *testing.T) {
+	e := New()
+	a := tensor.Ones(4, 4)
+	b := e.MatMul(a, a)
+	c := e.ReLU(b)
+	e.SetPhase(trace.Symbolic)
+	e.Add(c, c)
+	g := trace.BuildGraph(e.Trace())
+	if g.Edges() < 2 {
+		t.Fatalf("expected chained dependencies, edges = %d", g.Edges())
+	}
+	path, _ := g.CriticalPath()
+	if len(path) != 3 {
+		t.Fatalf("critical path length = %d", len(path))
+	}
+	n2s, _ := g.CrossPhaseEdges()
+	if n2s != 1 {
+		t.Fatalf("neural→symbolic edges = %d", n2s)
+	}
+}
+
+func TestReshapeAliasTracked(t *testing.T) {
+	e := New()
+	a := tensor.Ones(2, 2)
+	r := e.Reshape(a, 4)
+	if r.Size() != 4 {
+		t.Fatal("reshape failed")
+	}
+	ev := e.Trace().Events[0]
+	if ev.Category != trace.DataTransform || len(ev.Outputs) != 1 {
+		t.Fatalf("reshape event = %+v", ev)
+	}
+}

@@ -1,0 +1,201 @@
+package ops
+
+import (
+	"github.com/neurosym/nsbench/internal/sparse"
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Transpose records an instrumented matrix transpose (data transformation).
+func (e *Engine) Transpose(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Transpose",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Transpose(a)} }))
+}
+
+// Permute records an instrumented axis permutation.
+func (e *Engine) Permute(a *tensor.Tensor, perm ...int) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Permute",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Permute(a, perm...)} }))
+}
+
+// Reshape records an instrumented reshape. The data is aliased, so only
+// metadata traffic occurs; we log a fixed small byte cost.
+func (e *Engine) Reshape(a *tensor.Tensor, shape ...int) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Reshape",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    64,
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Reshape(shape...)} }))
+}
+
+// Concat records an instrumented concatenation.
+func (e *Engine) Concat(axis int, ts ...*tensor.Tensor) *tensor.Tensor {
+	total := 0
+	for _, t := range ts {
+		total += t.Size()
+	}
+	return one(e.record(op{
+		name:     "Concat",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(total),
+		inputs:   ts,
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Concat(axis, ts...)} }))
+}
+
+// Stack records an instrumented stack along a new leading axis.
+func (e *Engine) Stack(ts ...*tensor.Tensor) *tensor.Tensor {
+	total := 0
+	for _, t := range ts {
+		total += t.Size()
+	}
+	return one(e.record(op{
+		name:     "Stack",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(total),
+		inputs:   ts,
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Stack(ts...)} }))
+}
+
+// Slice records an instrumented leading-axis slice.
+func (e *Engine) Slice(a *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	inner := a.Size() / max(a.Dim(0), 1)
+	return one(e.record(op{
+		name:     "Slice",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy((hi - lo) * inner),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Slice(a, lo, hi)} }))
+}
+
+// Gather records an instrumented irregular row gather. The byte cost uses
+// random-access convention: every gathered row is a strided read.
+func (e *Engine) Gather(a *tensor.Tensor, idx []int) *tensor.Tensor {
+	inner := a.Size() / max(a.Dim(0), 1)
+	return one(e.record(op{
+		name:     "Gather",
+		kernel:   "gather",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(len(idx)*inner) + int64(len(idx))*4,
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Gather(a, idx)} }))
+}
+
+// MaskedSelect records an instrumented masked selection.
+func (e *Engine) MaskedSelect(a, mask *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "MaskedSelect",
+		kernel:   "gather",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesEltwiseBinary(a.Size()),
+		inputs:   []*tensor.Tensor{a, mask},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MaskedSelect(a, mask)} }))
+}
+
+// Copy records an explicit tensor duplication (data movement).
+func (e *Engine) Copy(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Copy",
+		kernel:   "memcpy",
+		category: trace.DataMovement,
+		bytes:    tensor.BytesCopy(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Clone()} }))
+}
+
+// HostToDevice records a simulated host→device transfer of a tensor. On the
+// measured platform of the paper this traffic dominates data-movement time;
+// here it is an explicit data-movement event sized by the tensor.
+func (e *Engine) HostToDevice(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "HostToDevice",
+		kernel:   "memcpy_h2d",
+		category: trace.DataMovement,
+		bytes:    tensor.BytesCopy(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Clone()} }))
+}
+
+// DeviceToHost records a simulated device→host transfer of a tensor.
+func (e *Engine) DeviceToHost(a *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "DeviceToHost",
+		kernel:   "memcpy_d2h",
+		category: trace.DataMovement,
+		bytes:    tensor.BytesCopy(a.Size()),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Clone()} }))
+}
+
+// SpMM records an instrumented sparse-dense matrix multiplication.
+func (e *Engine) SpMM(a *sparse.CSR, b *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "SpMM",
+		kernel:   "spmm",
+		category: trace.MatMul,
+		flops:    sparse.FlopsSpMM(a.NNZ(), b.Dim(1)),
+		bytes:    sparse.BytesSpMM(a.NNZ(), a.Rows, b.Dim(1)),
+		inputs:   []*tensor.Tensor{b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.SpMM(b)} }))
+}
+
+// SpMV records an instrumented sparse matrix-vector multiplication.
+func (e *Engine) SpMV(a *sparse.CSR, x *tensor.Tensor) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "SpMV",
+		kernel:   "spmv",
+		category: trace.MatMul,
+		flops:    sparse.FlopsSpMM(a.NNZ(), 1),
+		bytes:    sparse.BytesSpMM(a.NNZ(), a.Rows, 1),
+		inputs:   []*tensor.Tensor{x},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.SpMV(x)} }))
+}
+
+// SDDMM records an instrumented sampled dense-dense matrix multiplication.
+func (e *Engine) SDDMM(pattern *sparse.CSR, a, b *tensor.Tensor) *sparse.CSR {
+	var out *sparse.CSR
+	e.record(op{
+		name:     "SDDMM",
+		kernel:   "sddmm",
+		category: trace.MatMul,
+		flops:    2 * int64(pattern.NNZ()) * int64(a.Dim(1)),
+		bytes:    sparse.BytesSpMM(pattern.NNZ(), pattern.Rows, a.Dim(1)),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor {
+		out = pattern.SDDMM(a, b)
+		return nil
+	})
+	return out
+}
+
+// Coalesce records an instrumented sparse coalescing pass — the paper's
+// canonical data-transformation operator for sparse data.
+func (e *Engine) Coalesce(m *sparse.COO) int {
+	var merged int
+	n := m.NNZ()
+	e.record(op{
+		name:     "Coalesce",
+		kernel:   "coalesce",
+		category: trace.DataTransform,
+		bytes:    int64(n) * 12 * 2, // read+write of (row, col, val) triples
+		inputs:   nil,
+	}, func() []*tensor.Tensor {
+		merged = m.Coalesce()
+		return nil
+	})
+	return merged
+}

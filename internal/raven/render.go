@@ -1,0 +1,131 @@
+package raven
+
+import (
+	"math"
+
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// Render rasterizes a panel to a 1×size×size grayscale image tensor in
+// [0,1]. Objects are drawn into their 3×3 grid cells as filled glyphs whose
+// radius encodes Size, intensity encodes Color, and silhouette encodes Type.
+// The renderer exists to give the neural perception frontends a real
+// pixel-domain input with panel-dependent content.
+func (p Panel) Render(size int) *tensor.Tensor {
+	img := tensor.New(1, 1, size, size)
+	cell := size / 3
+	if cell < 2 {
+		cell = 2
+	}
+	intensity := 0.3 + 0.7*float32(p.Color+1)/float32(ColorLevels)
+	radius := float64(cell) / 2 * (0.4 + 0.6*float64(p.Size+1)/float64(SizeLevels))
+	for slot := 0; slot < GridSlots; slot++ {
+		if !p.Slots[slot] {
+			continue
+		}
+		cy := float64((slot/3)*cell + cell/2)
+		cx := float64((slot%3)*cell + cell/2)
+		drawGlyph(img, p.Type, cx, cy, radius, intensity, size)
+	}
+	return img
+}
+
+// drawGlyph fills pixels of the glyph for a shape type centered at (cx, cy).
+func drawGlyph(img *tensor.Tensor, typ int, cx, cy, r float64, v float32, size int) {
+	d := img.Data()
+	lo := func(c float64) int {
+		i := int(math.Floor(c - r))
+		if i < 0 {
+			return 0
+		}
+		return i
+	}
+	hi := func(c float64) int {
+		i := int(math.Ceil(c + r))
+		if i >= size {
+			return size - 1
+		}
+		return i
+	}
+	for y := lo(cy); y <= hi(cy); y++ {
+		for x := lo(cx); x <= hi(cx); x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			if insideGlyph(typ, dx, dy, r) {
+				d[y*size+x] = v
+			}
+		}
+	}
+}
+
+// insideGlyph tests membership in the shape silhouette. Each type gets a
+// distinct silhouette so shapes are separable by a perception network.
+func insideGlyph(typ int, dx, dy, r float64) bool {
+	switch typ % TypeLevels {
+	case 0: // triangle (upward)
+		return dy <= r/2 && dy >= -r && math.Abs(dx) <= (dy+r)/1.5
+	case 1: // square
+		return math.Abs(dx) <= r*0.8 && math.Abs(dy) <= r*0.8
+	case 2: // pentagon approximated by a clipped disc
+		return dx*dx+dy*dy <= r*r && dy <= r*0.6
+	case 3: // hexagon: axis-aligned hex metric
+		return math.Abs(dx) <= r && math.Abs(dy) <= r*0.85 && math.Abs(dx)+0.5*math.Abs(dy) <= r
+	default: // circle
+		return dx*dx+dy*dy <= r*r
+	}
+}
+
+// PositionPatterns is the size of the position-occupancy pattern space:
+// every subset of the 3×3 object grid.
+const PositionPatterns = 1 << GridSlots
+
+// PerceivePositionPMF returns a probability mass function over all 512
+// occupancy patterns of the object grid, centered on the panel's true
+// pattern with the given noise floor. PrAE's exhaustive scene inference
+// consumes this full position distribution.
+func PerceivePositionPMF(p Panel, noise float64) *tensor.Tensor {
+	pmf := tensor.New(PositionPatterns)
+	floor := float32(noise / float64(PositionPatterns))
+	for i := range pmf.Data() {
+		pmf.Data()[i] = floor
+	}
+	pmf.Data()[p.AttrValue(Position)] += float32(1 - noise)
+	return pmf
+}
+
+// PerceivePMF simulates the neural perception output for a panel: for each
+// attribute it returns a probability mass function over the attribute's
+// levels, centered on the true value with the given label-noise floor.
+// noise = 0 yields one-hot PMFs; larger values spread mass uniformly,
+// emulating a perception network's calibrated uncertainty.
+func PerceivePMF(p Panel, noise float64, g *tensor.RNG) map[Attribute]*tensor.Tensor {
+	out := make(map[Attribute]*tensor.Tensor, 4)
+	for _, a := range []Attribute{Number, Type, Size, Color} {
+		lv := Levels(a)
+		pmf := tensor.New(lv)
+		truth := p.AttrValue(a)
+		if a == Number {
+			truth-- // 1-based count to 0-based bin
+			if truth < 0 {
+				truth = 0
+			}
+		}
+		for i := 0; i < lv; i++ {
+			pmf.Data()[i] = float32(noise / float64(lv))
+		}
+		pmf.Data()[truth] += float32(1 - noise)
+		// Perceptual jitter: occasionally bleed mass to a neighbour level.
+		if noise > 0 && g != nil && g.Float64() < noise {
+			j := truth + 1
+			if j >= lv {
+				j = truth - 1
+			}
+			if j >= 0 {
+				leak := pmf.Data()[truth] * 0.3
+				pmf.Data()[truth] -= leak
+				pmf.Data()[j] += leak
+			}
+		}
+		out[a] = pmf
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+)
+
+var rtx = Model{Name: "RTX 2080 Ti", PeakGFLOPs: 13450, MemBWGBs: 616}
+
+func TestRidge(t *testing.T) {
+	r := rtx.Ridge()
+	if r < 21.8 || r > 21.9 {
+		t.Fatalf("Ridge = %v", r)
+	}
+	if (Model{}).Ridge() != 0 {
+		t.Fatal("zero model ridge must be 0")
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	// Below the ridge: bandwidth slope.
+	if got := rtx.Attainable(1); got != 616 {
+		t.Fatalf("Attainable(1) = %v", got)
+	}
+	// Above the ridge: flat compute ceiling.
+	if got := rtx.Attainable(100); got != 13450 {
+		t.Fatalf("Attainable(100) = %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if rtx.Classify(0.25) != MemoryBound {
+		t.Fatal("low AI must be memory-bound")
+	}
+	if rtx.Classify(50) != ComputeBound {
+		t.Fatal("high AI must be compute-bound")
+	}
+	if MemoryBound.String() != "memory-bound" || ComputeBound.String() != "compute-bound" {
+		t.Fatal("bound strings wrong")
+	}
+}
+
+func TestPlace(t *testing.T) {
+	// A GEMM-like component: 1e12 FLOPs over 1e10 bytes in 0.2 s.
+	p := rtx.Place("neural", 1e12, 1e10, 0.2)
+	if p.AI != 100 || p.Bound != ComputeBound {
+		t.Fatalf("Place = %+v", p)
+	}
+	if p.PerfGFLOPs != 5000 {
+		t.Fatalf("PerfGFLOPs = %v", p.PerfGFLOPs)
+	}
+	if p.CeilingPct < 37 || p.CeilingPct > 38 {
+		t.Fatalf("CeilingPct = %v", p.CeilingPct)
+	}
+	// A symbolic component: low intensity.
+	s := rtx.Place("symbolic", 1e9, 1e10, 0.05)
+	if s.Bound != MemoryBound {
+		t.Fatalf("symbolic bound = %v", s.Bound)
+	}
+	if !strings.Contains(s.String(), "memory-bound") {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+func TestPlaceDegenerate(t *testing.T) {
+	p := rtx.Place("x", 0, 0, 0)
+	if p.AI != 0 || p.PerfGFLOPs != 0 {
+		t.Fatalf("degenerate Place = %+v", p)
+	}
+}

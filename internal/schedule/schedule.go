@@ -1,0 +1,209 @@
+// Package schedule implements list scheduling over recorded operator
+// dependency graphs. It quantifies the paper's Recommendation 5 — adaptive
+// workload scheduling with parallel processing of neural and symbolic
+// components — by computing the makespan of a trace on k parallel
+// execution units and comparing it against serial execution and the
+// critical-path lower bound.
+package schedule
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Result summarizes one scheduling experiment.
+type Result struct {
+	Units         int
+	Serial        time.Duration // sum of all event durations
+	Makespan      time.Duration // list-scheduled finish time on Units workers
+	CriticalPath  time.Duration // dependency lower bound
+	Speedup       float64       // Serial / Makespan
+	Efficiency    float64       // Speedup / Units
+	BoundTightPct float64       // CriticalPath / Makespan, how close to optimal
+}
+
+// durationOf lets callers re-cost events (e.g. with a device model) before
+// scheduling. The default costs use measured host durations.
+type durationOf func(*trace.Event) time.Duration
+
+// Option configures the scheduler.
+type Option func(*config)
+
+type config struct {
+	cost durationOf
+}
+
+// WithCost re-costs every event with the supplied function (e.g. a device
+// model's EventTime) instead of the measured host duration.
+func WithCost(f func(*trace.Event) time.Duration) Option {
+	return func(c *config) { c.cost = f }
+}
+
+// workerHeap orders workers by their next-free time.
+type workerHeap []time.Duration
+
+func (h workerHeap) Len() int            { return len(h) }
+func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// List schedules the trace's dependency graph on `units` parallel workers
+// with a longest-processing-time-first ready queue, respecting every
+// recorded data dependency. units < 1 is treated as 1.
+func List(tr *trace.Trace, units int, opts ...Option) Result {
+	cfg := config{cost: func(e *trace.Event) time.Duration { return e.Dur }}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if units < 1 {
+		units = 1
+	}
+	g := trace.BuildGraph(tr)
+	n := g.N
+	res := Result{Units: units}
+	if n == 0 {
+		return res
+	}
+
+	cost := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		cost[i] = cfg.cost(g.Event(i))
+		res.Serial += cost[i]
+	}
+
+	// Priority = longest path to a sink (standard upward rank), computed
+	// backwards over the topologically ordered (by construction) events.
+	rank := make([]time.Duration, n)
+	for v := n - 1; v >= 0; v-- {
+		var best time.Duration
+		for _, s := range g.Adj[v] {
+			if rank[s] > best {
+				best = rank[s]
+			}
+		}
+		rank[v] = best + cost[v]
+	}
+
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.Parents[v])
+	}
+	// ready holds runnable events ordered by descending rank.
+	ready := &eventHeap{rank: rank}
+	// earliest[v] is the time all of v's inputs are available.
+	earliest := make([]time.Duration, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heap.Push(ready, v)
+		}
+	}
+	workers := make(workerHeap, units)
+	heap.Init(&workers)
+
+	var makespan time.Duration
+	type pending struct {
+		done time.Duration
+		v    int
+	}
+	var inflight []pending
+
+	scheduled := 0
+	for scheduled < n {
+		if ready.Len() == 0 {
+			// Advance time to the earliest completion to release deps.
+			bestIdx := 0
+			for i := 1; i < len(inflight); i++ {
+				if inflight[i].done < inflight[bestIdx].done {
+					bestIdx = i
+				}
+			}
+			done := inflight[bestIdx]
+			inflight = append(inflight[:bestIdx], inflight[bestIdx+1:]...)
+			for _, s := range g.Adj[done.v] {
+				if earliest[s] < done.done {
+					earliest[s] = done.done
+				}
+				indeg[s]--
+				if indeg[s] == 0 {
+					heap.Push(ready, s)
+				}
+			}
+			continue
+		}
+		v := heap.Pop(ready).(int)
+		// Pick the earliest-free worker; start after inputs are ready.
+		free := heap.Pop(&workers).(time.Duration)
+		start := free
+		if earliest[v] > start {
+			start = earliest[v]
+		}
+		end := start + cost[v]
+		heap.Push(&workers, end)
+		inflight = append(inflight, pending{done: end, v: v})
+		if end > makespan {
+			makespan = end
+		}
+		scheduled++
+	}
+	res.Makespan = makespan
+	// Critical path under the configured costs: the dependency lower bound.
+	var cpCost time.Duration
+	longest := make([]time.Duration, n)
+	for v := 0; v < n; v++ {
+		var best time.Duration
+		for _, u := range g.Parents[v] {
+			if longest[u] > best {
+				best = longest[u]
+			}
+		}
+		longest[v] = best + cost[v]
+		if longest[v] > cpCost {
+			cpCost = longest[v]
+		}
+	}
+	res.CriticalPath = cpCost
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.Serial) / float64(res.Makespan)
+		res.Efficiency = res.Speedup / float64(units)
+		res.BoundTightPct = 100 * float64(res.CriticalPath) / float64(res.Makespan)
+	}
+	return res
+}
+
+// eventHeap is a max-heap of event indices by rank.
+type eventHeap struct {
+	items []int
+	rank  []time.Duration
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	return h.rank[h.items[i]] > h.rank[h.items[j]]
+}
+func (h *eventHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *eventHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// Sweep schedules the trace across the given worker counts.
+func Sweep(tr *trace.Trace, units []int, opts ...Option) []Result {
+	out := make([]Result, 0, len(units))
+	for _, u := range units {
+		out = append(out, List(tr, u, opts...))
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package schedule
+
+import (
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// chainTrace builds a linear dependency chain of n events, d each.
+func chainTrace(n int, d time.Duration) *trace.Trace {
+	tr := trace.New()
+	for i := 0; i < n; i++ {
+		ev := trace.Event{Name: "op", Dur: d, Outputs: []uint64{uint64(i + 1)}}
+		if i > 0 {
+			ev.Inputs = []uint64{uint64(i)}
+		}
+		tr.Append(ev)
+	}
+	return tr
+}
+
+// fanTrace builds n independent events, d each.
+func fanTrace(n int, d time.Duration) *trace.Trace {
+	tr := trace.New()
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Event{Name: "op", Dur: d, Outputs: []uint64{uint64(i + 1)}})
+	}
+	return tr
+}
+
+func TestChainHasNoParallelism(t *testing.T) {
+	tr := chainTrace(10, time.Millisecond)
+	r := List(tr, 8)
+	if r.Makespan != 10*time.Millisecond {
+		t.Fatalf("chain makespan = %v, want 10ms", r.Makespan)
+	}
+	if r.Speedup > 1.01 {
+		t.Fatalf("chain speedup = %v, want 1", r.Speedup)
+	}
+	if r.BoundTightPct < 99 {
+		t.Fatalf("chain should be at the critical-path bound: %v", r.BoundTightPct)
+	}
+}
+
+func TestFanScalesLinearly(t *testing.T) {
+	tr := fanTrace(16, time.Millisecond)
+	r4 := List(tr, 4)
+	if r4.Makespan != 4*time.Millisecond {
+		t.Fatalf("fan on 4 workers = %v, want 4ms", r4.Makespan)
+	}
+	if r4.Speedup < 3.99 || r4.Efficiency < 0.99 {
+		t.Fatalf("fan speedup/efficiency = %v/%v", r4.Speedup, r4.Efficiency)
+	}
+	r16 := List(tr, 16)
+	if r16.Makespan != time.Millisecond {
+		t.Fatalf("fan on 16 workers = %v, want 1ms", r16.Makespan)
+	}
+}
+
+func TestUnitsClampedToOne(t *testing.T) {
+	tr := fanTrace(4, time.Millisecond)
+	r := List(tr, 0)
+	if r.Units != 1 || r.Makespan != 4*time.Millisecond {
+		t.Fatalf("clamped result = %+v", r)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := List(trace.New(), 4)
+	if r.Makespan != 0 || r.Serial != 0 {
+		t.Fatalf("empty result = %+v", r)
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	// a → {b, c} → d: on 2 workers, makespan = a + max(b,c) + d.
+	tr := trace.New()
+	tr.Append(trace.Event{Name: "a", Dur: time.Millisecond, Outputs: []uint64{1}})
+	tr.Append(trace.Event{Name: "b", Dur: 2 * time.Millisecond, Inputs: []uint64{1}, Outputs: []uint64{2}})
+	tr.Append(trace.Event{Name: "c", Dur: 3 * time.Millisecond, Inputs: []uint64{1}, Outputs: []uint64{3}})
+	tr.Append(trace.Event{Name: "d", Dur: time.Millisecond, Inputs: []uint64{2, 3}, Outputs: []uint64{4}})
+	r := List(tr, 2)
+	if r.Makespan != 5*time.Millisecond {
+		t.Fatalf("diamond makespan = %v, want 5ms", r.Makespan)
+	}
+	if r.CriticalPath != 5*time.Millisecond {
+		t.Fatalf("diamond critical path = %v", r.CriticalPath)
+	}
+}
+
+func TestMakespanNeverBelowBoundsAndMonotone(t *testing.T) {
+	// A real workload trace: makespan must respect both lower bounds and
+	// improve monotonically with more workers.
+	e := ops.New()
+	g := tensor.NewRNG(1)
+	for i := 0; i < 20; i++ {
+		a := g.Normal(0, 1, 32, 32)
+		b := e.MatMul(a, a)
+		_ = e.ReLU(b)
+	}
+	tr := e.Trace()
+	results := Sweep(tr, []int{1, 2, 4, 8})
+	prev := time.Duration(0)
+	for i, r := range results {
+		if r.Makespan < r.CriticalPath {
+			t.Fatalf("makespan %v below critical path %v", r.Makespan, r.CriticalPath)
+		}
+		perfect := time.Duration(int64(r.Serial) / int64(r.Units))
+		if r.Makespan < perfect {
+			t.Fatalf("makespan %v below work bound %v", r.Makespan, perfect)
+		}
+		if i > 0 && r.Makespan > prev+prev/10 {
+			t.Fatalf("makespan not monotone: %v after %v", r.Makespan, prev)
+		}
+		prev = r.Makespan
+	}
+	if results[0].Makespan != results[0].Serial {
+		t.Fatal("single worker must serialize")
+	}
+}
+
+func TestWithCostReCosting(t *testing.T) {
+	tr := fanTrace(4, time.Millisecond)
+	r := List(tr, 1, WithCost(func(e *trace.Event) time.Duration { return time.Second }))
+	if r.Serial != 4*time.Second {
+		t.Fatalf("re-costed serial = %v", r.Serial)
+	}
+}

@@ -1,0 +1,188 @@
+// Package taxonomy encodes the paper's Tables I–III as a queryable
+// registry: Henry Kautz's five neuro-symbolic integration paradigms, the
+// seventeen surveyed algorithms with their underlying operations and vector
+// formats (Tab. I/II), and the metadata of the seven selected workloads
+// (Tab. III).
+package taxonomy
+
+import "fmt"
+
+// Paradigm is one of the five integration categories.
+type Paradigm int
+
+// The five paradigms, in the paper's order.
+const (
+	SymbolicNeuro  Paradigm = iota // Symbolic[Neuro]
+	NeuroPipeline                  // Neuro|Symbolic
+	NeuroCompile                   // Neuro:Symbolic→Neuro
+	NeuroSubscript                 // Neuro_Symbolic
+	NeuroInternal                  // Neuro[Symbolic]
+	numParadigms
+)
+
+// Paradigms lists all categories in order.
+func Paradigms() []Paradigm {
+	return []Paradigm{SymbolicNeuro, NeuroPipeline, NeuroCompile, NeuroSubscript, NeuroInternal}
+}
+
+// String returns the paper's notation for the paradigm.
+func (p Paradigm) String() string {
+	switch p {
+	case SymbolicNeuro:
+		return "Symbolic[Neuro]"
+	case NeuroPipeline:
+		return "Neuro|Symbolic"
+	case NeuroCompile:
+		return "Neuro:Symbolic→Neuro"
+	case NeuroSubscript:
+		return "Neuro_Symbolic"
+	case NeuroInternal:
+		return "Neuro[Symbolic]"
+	default:
+		return fmt.Sprintf("Paradigm(%d)", int(p))
+	}
+}
+
+// Description returns the paper's one-line description of the paradigm.
+func (p Paradigm) Description() string {
+	switch p {
+	case SymbolicNeuro:
+		return "End-to-end symbolic system that uses neural models internally as a subroutine"
+	case NeuroPipeline:
+		return "Pipelined system integrating neural and symbolic components specialized for complementary tasks"
+	case NeuroCompile:
+		return "End-to-end neural system that compiles symbolic knowledge externally into the network"
+	case NeuroSubscript:
+		return "Symbolic first-order logic mapped onto embeddings as soft constraints or regularizers"
+	case NeuroInternal:
+		return "End-to-end neural system that uses symbolic models internally as a subroutine"
+	default:
+		return ""
+	}
+}
+
+// Algorithm is one Table-I row.
+type Algorithm struct {
+	Name       string
+	Paradigm   Paradigm
+	Operations []string // underlying operations
+	Vector     bool     // vector format (vs non-vector)
+	Selected   bool     // one of the seven characterized workloads
+}
+
+// algorithms is the Table-I survey.
+var algorithms = []Algorithm{
+	{Name: "AlphaGo", Paradigm: SymbolicNeuro, Operations: []string{"NN", "MCTS"}, Vector: true},
+	{Name: "NVSA", Paradigm: NeuroPipeline, Operations: []string{"NN", "mul", "add", "circular conv"}, Vector: true, Selected: true},
+	{Name: "NeuPSL", Paradigm: NeuroPipeline, Operations: []string{"NN", "fuzzy logic"}, Vector: true},
+	{Name: "NSCL", Paradigm: NeuroPipeline, Operations: []string{"NN", "add", "mul", "div", "log"}, Vector: true},
+	{Name: "NeurASP", Paradigm: NeuroPipeline, Operations: []string{"NN", "logic rules"}, Vector: false},
+	{Name: "ABL", Paradigm: NeuroPipeline, Operations: []string{"NN", "logic rules"}, Vector: false},
+	{Name: "NSVQA", Paradigm: NeuroPipeline, Operations: []string{"NN", "pre-defined objects"}, Vector: false},
+	{Name: "VSAIT", Paradigm: NeuroPipeline, Operations: []string{"NN", "binding/unbinding"}, Vector: true, Selected: true},
+	{Name: "PrAE", Paradigm: NeuroPipeline, Operations: []string{"NN", "logic rules", "prob. abduction"}, Vector: true, Selected: true},
+	{Name: "LNN", Paradigm: NeuroCompile, Operations: []string{"NN", "fuzzy logic"}, Vector: true, Selected: true},
+	{Name: "Symbolic Math", Paradigm: NeuroCompile, Operations: []string{"NN"}, Vector: true},
+	{Name: "Differentiable ILP", Paradigm: NeuroCompile, Operations: []string{"NN", "fuzzy logic"}, Vector: true},
+	{Name: "LTN", Paradigm: NeuroSubscript, Operations: []string{"NN", "fuzzy logic"}, Vector: true, Selected: true},
+	{Name: "DON", Paradigm: NeuroSubscript, Operations: []string{"NN"}, Vector: true},
+	{Name: "GNN+attention", Paradigm: NeuroSubscript, Operations: []string{"NN", "SpMM", "SDDMM"}, Vector: true},
+	{Name: "ZeroC", Paradigm: NeuroInternal, Operations: []string{"NN (energy-based model, graph)"}, Vector: true, Selected: true},
+	{Name: "NLM", Paradigm: NeuroInternal, Operations: []string{"NN", "permutation"}, Vector: true, Selected: true},
+}
+
+// Algorithms returns all Table-I rows.
+func Algorithms() []Algorithm { return append([]Algorithm(nil), algorithms...) }
+
+// ByParadigm returns the algorithms of one paradigm.
+func ByParadigm(p Paradigm) []Algorithm {
+	var out []Algorithm
+	for _, a := range algorithms {
+		if a.Paradigm == p {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Find looks an algorithm up by name.
+func Find(name string) (Algorithm, bool) {
+	for _, a := range algorithms {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algorithm{}, false
+}
+
+// WorkloadMeta is one Table-III column: the metadata of a selected workload.
+type WorkloadMeta struct {
+	Name        string
+	FullName    string
+	Paradigm    Paradigm
+	Learning    string
+	Application string
+	Datasets    []string
+	Datatype    string
+	NeuralPart  string
+	SymbolicOps []string
+}
+
+// workloadMeta is the Table-III metadata.
+var workloadMeta = []WorkloadMeta{
+	{
+		Name: "LNN", FullName: "Logical Neural Network", Paradigm: NeuroCompile,
+		Learning: "Supervised", Application: "Learning and reasoning, full theorem prover",
+		Datasets: []string{"LUBM", "TPTP"}, Datatype: "FP32",
+		NeuralPart: "Graph of logic neurons", SymbolicOps: []string{"fuzzy logic", "truth bounds", "omnidirectional inference"},
+	},
+	{
+		Name: "LTN", FullName: "Logic Tensor Network", Paradigm: NeuroSubscript,
+		Learning: "Supervised/Unsupervised", Application: "Querying, learning, reasoning",
+		Datasets: []string{"UCI", "Leptograpsus crabs", "DeepProbLog"}, Datatype: "FP32",
+		NeuralPart: "MLP", SymbolicOps: []string{"fuzzy FOL", "quantifier aggregation"},
+	},
+	{
+		Name: "NVSA", FullName: "Neuro-Vector-Symbolic Architecture", Paradigm: NeuroPipeline,
+		Learning: "Supervised/Unsupervised", Application: "Fluid intelligence, abstract reasoning",
+		Datasets: []string{"RAVEN", "I-RAVEN", "PGM"}, Datatype: "FP32",
+		NeuralPart: "ConvNet", SymbolicOps: []string{"circular convolution", "codebook cleanup", "probabilistic abduction"},
+	},
+	{
+		Name: "NLM", FullName: "Neural Logic Machine", Paradigm: NeuroInternal,
+		Learning: "Supervised/Unsupervised", Application: "Relational reasoning, decision making",
+		Datasets: []string{"family graph reasoning", "sorting", "path finding"}, Datatype: "FP32",
+		NeuralPart: "Sequential tensor MLPs", SymbolicOps: []string{"permutation", "expand/reduce quantifiers"},
+	},
+	{
+		Name: "VSAIT", FullName: "VSA Image-to-Image Translation", Paradigm: NeuroPipeline,
+		Learning: "Supervised", Application: "Unpaired image-to-image translation",
+		Datasets: []string{"GTA", "Cityscapes", "Google Maps"}, Datatype: "FP32",
+		NeuralPart: "ConvNet", SymbolicOps: []string{"LSH encoding", "binding/unbinding", "hyperspace similarity"},
+	},
+	{
+		Name: "ZeroC", FullName: "Zero-shot Concept Recognition and Acquisition", Paradigm: NeuroInternal,
+		Learning: "Supervised", Application: "Cross-domain classification and detection",
+		Datasets: []string{"abstraction reasoning", "hierarchical-concept corpus"}, Datatype: "INT64",
+		NeuralPart: "Energy-based network ensemble", SymbolicOps: []string{"concept graphs", "relation grounding"},
+	},
+	{
+		Name: "PrAE", FullName: "Probabilistic Abduction and Execution", Paradigm: NeuroPipeline,
+		Learning: "Supervised/Unsupervised", Application: "Fluid intelligence, spatial-temporal reasoning",
+		Datasets: []string{"RAVEN", "I-RAVEN", "PGM"}, Datatype: "FP32",
+		NeuralPart: "ConvNet", SymbolicOps: []string{"probabilistic abduction", "scene inference", "rule execution"},
+	},
+}
+
+// Workloads returns the Table-III metadata in the paper's order.
+func Workloads() []WorkloadMeta { return append([]WorkloadMeta(nil), workloadMeta...) }
+
+// WorkloadByName looks workload metadata up by short name.
+func WorkloadByName(name string) (WorkloadMeta, bool) {
+	for _, w := range workloadMeta {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return WorkloadMeta{}, false
+}

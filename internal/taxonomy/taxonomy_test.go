@@ -1,0 +1,89 @@
+package taxonomy
+
+import "testing"
+
+func TestParadigmStrings(t *testing.T) {
+	want := []string{"Symbolic[Neuro]", "Neuro|Symbolic", "Neuro:Symbolic→Neuro", "Neuro_Symbolic", "Neuro[Symbolic]"}
+	for i, p := range Paradigms() {
+		if p.String() != want[i] {
+			t.Fatalf("paradigm %d = %q, want %q", i, p.String(), want[i])
+		}
+		if p.Description() == "" {
+			t.Fatalf("paradigm %v has no description", p)
+		}
+	}
+}
+
+func TestSeventeenAlgorithms(t *testing.T) {
+	if len(Algorithms()) != 17 {
+		t.Fatalf("algorithms = %d, want 17 (Table I)", len(Algorithms()))
+	}
+	selected := 0
+	for _, a := range Algorithms() {
+		if a.Selected {
+			selected++
+		}
+		if len(a.Operations) == 0 {
+			t.Fatalf("%s has no operations", a.Name)
+		}
+	}
+	if selected != 7 {
+		t.Fatalf("selected workloads = %d, want 7", selected)
+	}
+}
+
+func TestByParadigmPartition(t *testing.T) {
+	total := 0
+	for _, p := range Paradigms() {
+		total += len(ByParadigm(p))
+	}
+	if total != len(Algorithms()) {
+		t.Fatal("paradigms do not partition the algorithm set")
+	}
+	if len(ByParadigm(NeuroPipeline)) < 5 {
+		t.Fatal("Neuro|Symbolic should be the largest category")
+	}
+}
+
+func TestFind(t *testing.T) {
+	a, ok := Find("NVSA")
+	if !ok || a.Paradigm != NeuroPipeline || !a.Vector || !a.Selected {
+		t.Fatalf("Find(NVSA) = %+v, %v", a, ok)
+	}
+	if _, ok := Find("GPT-4"); ok {
+		t.Fatal("unknown algorithm found")
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("workload metadata rows = %d, want 7 (Table III)", len(ws))
+	}
+	for _, m := range ws {
+		if m.FullName == "" || len(m.Datasets) == 0 || len(m.SymbolicOps) == 0 {
+			t.Fatalf("incomplete metadata for %s", m.Name)
+		}
+		// Each selected workload must exist in Table I with a matching paradigm.
+		a, ok := Find(m.Name)
+		if !ok || !a.Selected {
+			t.Fatalf("%s missing from Table I", m.Name)
+		}
+		if a.Paradigm != m.Paradigm {
+			t.Fatalf("%s paradigm mismatch: %v vs %v", m.Name, a.Paradigm, m.Paradigm)
+		}
+	}
+	if _, ok := WorkloadByName("NVSA"); !ok {
+		t.Fatal("WorkloadByName failed")
+	}
+	if _, ok := WorkloadByName("BERT"); ok {
+		t.Fatal("unknown workload metadata found")
+	}
+}
+
+func TestZeroCUsesINT64(t *testing.T) {
+	m, _ := WorkloadByName("ZeroC")
+	if m.Datatype != "INT64" {
+		t.Fatalf("ZeroC datatype = %s (Table III says INT64)", m.Datatype)
+	}
+}

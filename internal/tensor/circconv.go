@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// CircularConv returns the circular convolution of two equal-length vectors:
+// out[k] = Σ_i a[i] * b[(k-i) mod n].
+//
+// Circular convolution is the binding operator of holographic reduced
+// representations (HRR) and the core vector-symbolic primitive of NVSA and
+// PrAE. For n ≥ fftThreshold the FFT path (O(n log n)) is used; below it
+// the direct O(n²) kernel wins.
+func CircularConv(a, b *Tensor) *Tensor {
+	if a.Rank() != 1 || b.Rank() != 1 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: CircularConv needs equal-length vectors, got %v and %v", a.shape, b.shape))
+	}
+	n := a.shape[0]
+	if n >= fftThreshold && n&(n-1) == 0 {
+		return circularConvFFT(a, b)
+	}
+	return circularConvDirect(a, b)
+}
+
+// fftThreshold is the vector length above which the FFT path is preferred
+// for power-of-two sizes.
+const fftThreshold = 64
+
+func circularConvDirect(a, b *Tensor) *Tensor {
+	n := a.shape[0]
+	out := New(n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			j := k - i
+			if j < 0 {
+				j += n
+			}
+			s += float64(a.data[i]) * float64(b.data[j])
+		}
+		out.data[k] = float32(s)
+	}
+	return out
+}
+
+// CircularCorr returns the circular correlation of a and b:
+// out[k] = Σ_i a[i] * b[(k+i) mod n]. It is the approximate inverse
+// (unbinding) of CircularConv for unit-norm random vectors.
+func CircularCorr(a, b *Tensor) *Tensor {
+	if a.Rank() != 1 || b.Rank() != 1 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: CircularCorr needs equal-length vectors, got %v and %v", a.shape, b.shape))
+	}
+	n := a.shape[0]
+	out := New(n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += float64(a.data[i]) * float64(b.data[(k+i)%n])
+		}
+		out.data[k] = float32(s)
+	}
+	return out
+}
+
+func circularConvFFT(a, b *Tensor) *Tensor {
+	n := a.shape[0]
+	ar, ai := fft(toComplex(a.data), false)
+	br, bi := fft(toComplex(b.data), false)
+	// Pointwise complex multiply.
+	for i := 0; i < n; i++ {
+		re := ar[i]*br[i] - ai[i]*bi[i]
+		im := ar[i]*bi[i] + ai[i]*br[i]
+		ar[i], ai[i] = re, im
+	}
+	rr, _ := fft(complexPair{ar, ai}, true)
+	out := New(n)
+	for i := 0; i < n; i++ {
+		out.data[i] = float32(rr[i])
+	}
+	return out
+}
+
+type complexPair struct{ re, im []float64 }
+
+func toComplex(x []float32) complexPair {
+	re := make([]float64, len(x))
+	for i, v := range x {
+		re[i] = float64(v)
+	}
+	return complexPair{re: re, im: make([]float64, len(x))}
+}
+
+// fft computes the in-place iterative radix-2 Cooley-Tukey FFT (or inverse
+// when inv is true) of a power-of-two-length complex sequence. The inverse
+// includes the 1/n scaling.
+func fft(x complexPair, inv bool) ([]float64, []float64) {
+	n := len(x.re)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("tensor: fft length %d is not a power of two", n))
+	}
+	re := append([]float64(nil), x.re...)
+	im := append([]float64(nil), x.im...)
+	// Bit-reversal permutation.
+	shift := bits.LeadingZeros32(uint32(n)) + 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse32(uint32(i)) >> shift)
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inv {
+			ang = -ang
+		}
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			cr, ci := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i0, i1 := start+k, start+k+half
+				tr := re[i1]*cr - im[i1]*ci
+				ti := re[i1]*ci + im[i1]*cr
+				re[i1], im[i1] = re[i0]-tr, im[i0]-ti
+				re[i0], im[i0] = re[i0]+tr, im[i0]+ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+	if inv {
+		s := 1 / float64(n)
+		for i := range re {
+			re[i] *= s
+			im[i] *= s
+		}
+	}
+	return re, im
+}
+
+// FFTMagnitude returns the magnitude spectrum of a power-of-two-length
+// vector — used by the holographic codebook construction.
+func FFTMagnitude(a *Tensor) *Tensor {
+	if a.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: FFTMagnitude needs a vector, got %v", a.shape))
+	}
+	re, im := fft(toComplex(a.data), false)
+	out := New(a.shape[0])
+	for i := range re {
+		out.data[i] = float32(math.Hypot(re[i], im[i]))
+	}
+	return out
+}

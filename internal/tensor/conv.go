@@ -1,0 +1,164 @@
+package tensor
+
+import "fmt"
+
+// Conv2D computes a 2-D cross-correlation (the deep-learning "convolution")
+// of input (N×Cin×H×W) with weights (Cout×Cin×Kh×Kw), plus optional bias
+// (Cout), using the given stride and zero padding. The result is
+// N×Cout×Hout×Wout with Hout = (H+2p-Kh)/s + 1.
+//
+// The kernel uses an im2col-free direct loop; it is adequate for the
+// workload sizes used in the characterization study and keeps the byte/FLOP
+// accounting transparent.
+func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	if input.Rank() != 4 || weight.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D needs rank-4 input and weight, got %v, %v", input.shape, weight.shape))
+	}
+	if stride < 1 {
+		panic("tensor: Conv2D stride must be >= 1")
+	}
+	n, cin, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	cout, cin2, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if cin != cin2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v vs weight %v", input.shape, weight.shape))
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != cout) {
+		panic(fmt.Sprintf("tensor: Conv2D bias shape %v does not match Cout=%d", bias.shape, cout))
+	}
+	hout := (h+2*pad-kh)/stride + 1
+	wout := (w+2*pad-kw)/stride + 1
+	if hout < 1 || wout < 1 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for input %v kernel %v stride %d pad %d", input.shape, weight.shape, stride, pad))
+	}
+	out := New(n, cout, hout, wout)
+	in := input.data
+	wd := weight.data
+	od := out.data
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			var bv float32
+			if bias != nil {
+				bv = bias.data[oc]
+			}
+			for oy := 0; oy < hout; oy++ {
+				for ox := 0; ox < wout; ox++ {
+					var acc float32 = bv
+					iy0 := oy*stride - pad
+					ix0 := ox*stride - pad
+					for ic := 0; ic < cin; ic++ {
+						inBase := ((b*cin + ic) * h) * w
+						wBase := ((oc*cin + ic) * kh) * kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							rowIn := inBase + iy*w
+							rowW := wBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += in[rowIn+ix] * wd[rowW+kx]
+							}
+						}
+					}
+					od[((b*cout+oc)*hout+oy)*wout+ox] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies 2-D max pooling with a k×k window and stride s to an
+// N×C×H×W tensor.
+func MaxPool2D(input *Tensor, k, s int) *Tensor {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2D needs rank-4 input, got %v", input.shape))
+	}
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	hout := (h-k)/s + 1
+	wout := (w-k)/s + 1
+	if hout < 1 || wout < 1 {
+		panic(fmt.Sprintf("tensor: MaxPool2D produces empty output for input %v k=%d s=%d", input.shape, k, s))
+	}
+	out := New(n, c, hout, wout)
+	in := input.data
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < hout; oy++ {
+				for ox := 0; ox < wout; ox++ {
+					m := in[base+(oy*s)*w+ox*s]
+					for ky := 0; ky < k; ky++ {
+						row := base + (oy*s+ky)*w
+						for kx := 0; kx < k; kx++ {
+							if v := in[row+ox*s+kx]; v > m {
+								m = v
+							}
+						}
+					}
+					out.data[((b*c+ch)*hout+oy)*wout+ox] = m
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2D applies 2-D average pooling with a k×k window and stride s.
+func AvgPool2D(input *Tensor, k, s int) *Tensor {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: AvgPool2D needs rank-4 input, got %v", input.shape))
+	}
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	hout := (h-k)/s + 1
+	wout := (w-k)/s + 1
+	if hout < 1 || wout < 1 {
+		panic(fmt.Sprintf("tensor: AvgPool2D produces empty output for input %v k=%d s=%d", input.shape, k, s))
+	}
+	out := New(n, c, hout, wout)
+	in := input.data
+	inv := 1 / float32(k*k)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < hout; oy++ {
+				for ox := 0; ox < wout; ox++ {
+					var s64 float64
+					for ky := 0; ky < k; ky++ {
+						row := base + (oy*s+ky)*w
+						for kx := 0; kx < k; kx++ {
+							s64 += float64(in[row+ox*s+kx])
+						}
+					}
+					out.data[((b*c+ch)*hout+oy)*wout+ox] = float32(s64) * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2D reduces an N×C×H×W tensor to N×C by averaging each channel.
+func GlobalAvgPool2D(input *Tensor) *Tensor {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2D needs rank-4 input, got %v", input.shape))
+	}
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	out := New(n, c)
+	hw := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			var s float64
+			for i := 0; i < hw; i++ {
+				s += float64(input.data[base+i])
+			}
+			out.data[b*c+ch] = float32(s / float64(hw))
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// binOp applies f element-wise to a and b, which must share a shape.
+func binOp(name string, a, b *Tensor, f func(x, y float32) float32) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", name, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = f(ad[i], bd[i])
+	}
+	return out
+}
+
+// unOp applies f element-wise to a.
+func unOp(a *Tensor, f func(x float32) float32) *Tensor {
+	out := New(a.shape...)
+	ad, od := a.data, out.data
+	for i := range od {
+		od[i] = f(ad[i])
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Tensor) *Tensor {
+	return binOp("Add", a, b, func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	return binOp("Sub", a, b, func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns the Hadamard (element-wise) product a ⊙ b.
+func Mul(a, b *Tensor) *Tensor {
+	return binOp("Mul", a, b, func(x, y float32) float32 { return x * y })
+}
+
+// Div returns a / b element-wise. Division by zero follows IEEE semantics.
+func Div(a, b *Tensor) *Tensor {
+	return binOp("Div", a, b, func(x, y float32) float32 { return x / y })
+}
+
+// Minimum returns the element-wise minimum of a and b.
+func Minimum(a, b *Tensor) *Tensor {
+	return binOp("Minimum", a, b, func(x, y float32) float32 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// Maximum returns the element-wise maximum of a and b.
+func Maximum(a, b *Tensor) *Tensor {
+	return binOp("Maximum", a, b, func(x, y float32) float32 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// AddScalar returns a + s element-wise.
+func AddScalar(a *Tensor, s float32) *Tensor {
+	return unOp(a, func(x float32) float32 { return x + s })
+}
+
+// MulScalar returns a * s element-wise.
+func MulScalar(a *Tensor, s float32) *Tensor {
+	return unOp(a, func(x float32) float32 { return x * s })
+}
+
+// Neg returns -a element-wise.
+func Neg(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 { return -x })
+}
+
+// Abs returns |a| element-wise.
+func Abs(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	})
+}
+
+// Sign returns the sign of each element in {-1, 0, +1}.
+func Sign(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// Exp returns e^a element-wise.
+func Exp(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Log returns the natural logarithm element-wise.
+func Log(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 { return float32(math.Log(float64(x))) })
+}
+
+// Sqrt returns the square root element-wise.
+func Sqrt(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+}
+
+// Pow returns a^p element-wise.
+func Pow(a *Tensor, p float32) *Tensor {
+	return unOp(a, func(x float32) float32 { return float32(math.Pow(float64(x), float64(p))) })
+}
+
+// Clamp limits every element to the range [lo, hi].
+func Clamp(a *Tensor, lo, hi float32) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	})
+}
+
+// ReLU returns max(0, a) element-wise.
+func ReLU(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// LeakyReLU returns a where positive, alpha*a where negative.
+func LeakyReLU(a *Tensor, alpha float32) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return alpha * x
+	})
+}
+
+// Sigmoid returns 1/(1+e^-a) element-wise.
+func Sigmoid(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// Tanh returns the hyperbolic tangent element-wise.
+func Tanh(a *Tensor) *Tensor {
+	return unOp(a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Greater returns 1 where a > b and 0 elsewhere.
+func Greater(a, b *Tensor) *Tensor {
+	return binOp("Greater", a, b, func(x, y float32) float32 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Equal returns 1 where |a-b| <= eps and 0 elsewhere.
+func Equal(a, b *Tensor, eps float32) *Tensor {
+	return binOp("Equal", a, b, func(x, y float32) float32 {
+		d := x - y
+		if d <= eps && d >= -eps {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Where returns cond*a + (1-cond)*b, selecting a where cond is nonzero.
+func Where(cond, a, b *Tensor) *Tensor {
+	if !cond.SameShape(a) || !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Where shape mismatch %v %v %v", cond.shape, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range out.data {
+		if cond.data[i] != 0 {
+			out.data[i] = a.data[i]
+		} else {
+			out.data[i] = b.data[i]
+		}
+	}
+	return out
+}
+
+// AXPY computes y += alpha*x in place (BLAS level-1 saxpy).
+func AXPY(alpha float32, x, y *Tensor) {
+	if !x.SameShape(y) {
+		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", x.shape, y.shape))
+	}
+	xd, yd := x.data, y.data
+	for i := range yd {
+		yd[i] += alpha * xd[i]
+	}
+}
+
+// Dot returns the inner product of two tensors viewed as flat vectors.
+func Dot(a, b *Tensor) float32 {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", a.Size(), b.Size()))
+	}
+	var s float64
+	for i, v := range a.data {
+		s += float64(v) * float64(b.data[i])
+	}
+	return float32(s)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b as flat
+// vectors, or 0 if either has zero norm.
+func CosineSimilarity(a, b *Tensor) float32 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

@@ -1,0 +1,97 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product of a (m×k) and b (k×n) as an m×n tensor.
+// The kernel is blocked over k with an i-k-j loop order so the inner loop
+// streams both b and the output row, which is the cache-friendly layout for
+// row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product of a (m×k) and x (k) as a length-m vector.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec needs (2,1)-rank operands, got %v x %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x %v", a.shape, x.shape))
+	}
+	out := New(m)
+	ad, xd := a.data, x.data
+	for i := 0; i < m; i++ {
+		var s float64
+		row := ad[i*k : (i+1)*k]
+		for p, v := range row {
+			s += float64(v) * float64(xd[p])
+		}
+		out.data[i] = float32(s)
+	}
+	return out
+}
+
+// BatchMatMul multiplies two rank-3 tensors batch-wise: (B×m×k)·(B×k×n) → B×m×n.
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMul needs rank-3 operands, got %v x %v", a.shape, b.shape))
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: BatchMatMul batch mismatch %v x %v", a.shape, b.shape))
+	}
+	bsz, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchMatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(bsz, m, n)
+	for i := 0; i < bsz; i++ {
+		am := FromSlice(a.data[i*m*k:(i+1)*m*k], m, k)
+		bm := FromSlice(b.data[i*k*n:(i+1)*k*n], k, n)
+		r := MatMul(am, bm)
+		copy(out.data[i*m*n:(i+1)*m*n], r.data)
+	}
+	return out
+}
+
+// Outer returns the outer product of vectors a (m) and b (n) as an m×n matrix.
+func Outer(a, b *Tensor) *Tensor {
+	if a.Rank() != 1 || b.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: Outer needs rank-1 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, n := a.shape[0], b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		av := a.data[i]
+		row := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = av * b.data[j]
+		}
+	}
+	return out
+}

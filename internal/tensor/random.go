@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded random source for deterministic tensor initialization.
+// All nsbench randomness flows through explicitly seeded RNGs so that every
+// experiment is reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Rand returns the underlying *rand.Rand for ad-hoc draws.
+func (g *RNG) Rand() *rand.Rand { return g.r }
+
+// Uniform returns a tensor with elements drawn from U[lo, hi).
+func (g *RNG) Uniform(lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*g.r.Float32()
+	}
+	return t
+}
+
+// Normal returns a tensor with elements drawn from N(mean, std²).
+func (g *RNG) Normal(mean, std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*float32(g.r.NormFloat64())
+	}
+	return t
+}
+
+// Xavier returns a tensor initialized with Glorot/Xavier uniform scaling
+// for a layer with the given fan-in and fan-out.
+func (g *RNG) Xavier(fanIn, fanOut int, shape ...int) *Tensor {
+	limit := float32(math.Sqrt(6 / float64(fanIn+fanOut)))
+	return g.Uniform(-limit, limit, shape...)
+}
+
+// Bipolar returns a tensor of random ±1 entries — the MAP-B hypervector
+// distribution used by NVSA-style codebooks.
+func (g *RNG) Bipolar(shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		if g.r.Intn(2) == 0 {
+			t.data[i] = 1
+		} else {
+			t.data[i] = -1
+		}
+	}
+	return t
+}
+
+// Binary returns a tensor of random {0,1} entries with P(1)=p.
+func (g *RNG) Binary(p float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		if g.r.Float64() < p {
+			t.data[i] = 1
+		}
+	}
+	return t
+}
+
+// UnitVector returns a random vector of length n with unit L2 norm.
+func (g *RNG) UnitVector(n int) *Tensor {
+	v := g.Normal(0, 1, n)
+	return Normalize(v)
+}
+
+// HRRVector returns a random holographic vector: i.i.d. N(0, 1/n) entries,
+// the standard HRR initialization whose circular-convolution bindings are
+// approximately invertible by circular correlation.
+func (g *RNG) HRRVector(n int) *Tensor {
+	return g.Normal(0, float32(1/math.Sqrt(float64(n))), n)
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform float64 in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Shuffle randomizes the order of n elements via the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// reduceAxis applies a reduction along axis of a, producing a tensor with
+// that axis removed. init seeds the accumulator, step folds, finish maps the
+// accumulator and reduced length to the output value.
+func reduceAxis(a *Tensor, axis int, init float64, step func(acc float64, v float32) float64, finish func(acc float64, n int) float32) *Tensor {
+	if axis < 0 || axis >= a.Rank() {
+		panic(fmt.Sprintf("tensor: reduce axis %d out of range for shape %v", axis, a.shape))
+	}
+	outShape := make([]int, 0, a.Rank()-1)
+	outShape = append(outShape, a.shape[:axis]...)
+	outShape = append(outShape, a.shape[axis+1:]...)
+	out := New(outShape...)
+
+	// Decompose indexing as outer × axis × inner.
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= a.shape[i]
+	}
+	for i := axis + 1; i < a.Rank(); i++ {
+		inner *= a.shape[i]
+	}
+	n := a.shape[axis]
+	for o := 0; o < outer; o++ {
+		for in := 0; in < inner; in++ {
+			acc := init
+			base := o*n*inner + in
+			for k := 0; k < n; k++ {
+				acc = step(acc, a.data[base+k*inner])
+			}
+			out.data[o*inner+in] = finish(acc, n)
+		}
+	}
+	return out
+}
+
+// SumAxis sums along the given axis, removing it.
+func SumAxis(a *Tensor, axis int) *Tensor {
+	return reduceAxis(a, axis, 0,
+		func(acc float64, v float32) float64 { return acc + float64(v) },
+		func(acc float64, _ int) float32 { return float32(acc) })
+}
+
+// MeanAxis averages along the given axis, removing it.
+func MeanAxis(a *Tensor, axis int) *Tensor {
+	return reduceAxis(a, axis, 0,
+		func(acc float64, v float32) float64 { return acc + float64(v) },
+		func(acc float64, n int) float32 { return float32(acc / float64(n)) })
+}
+
+// MaxAxis takes the maximum along the given axis, removing it.
+func MaxAxis(a *Tensor, axis int) *Tensor {
+	return reduceAxis(a, axis, math.Inf(-1),
+		func(acc float64, v float32) float64 { return math.Max(acc, float64(v)) },
+		func(acc float64, _ int) float32 { return float32(acc) })
+}
+
+// MinAxis takes the minimum along the given axis, removing it.
+func MinAxis(a *Tensor, axis int) *Tensor {
+	return reduceAxis(a, axis, math.Inf(1),
+		func(acc float64, v float32) float64 { return math.Min(acc, float64(v)) },
+		func(acc float64, _ int) float32 { return float32(acc) })
+}
+
+// ProdAxis multiplies along the given axis, removing it.
+func ProdAxis(a *Tensor, axis int) *Tensor {
+	return reduceAxis(a, axis, 1,
+		func(acc float64, v float32) float64 { return acc * float64(v) },
+		func(acc float64, _ int) float32 { return float32(acc) })
+}
+
+// ArgMax returns the index of the largest element of a flat tensor.
+func ArgMax(a *Tensor) int {
+	if a.Size() == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := a.data[0], 0
+	for i, v := range a.data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// ArgMaxAxis returns, for each slice along axis, the index of its maximum.
+// The result has the reduced shape and holds indices as float32.
+func ArgMaxAxis(a *Tensor, axis int) *Tensor {
+	if axis < 0 || axis >= a.Rank() {
+		panic(fmt.Sprintf("tensor: ArgMaxAxis axis %d out of range for shape %v", axis, a.shape))
+	}
+	outShape := make([]int, 0, a.Rank()-1)
+	outShape = append(outShape, a.shape[:axis]...)
+	outShape = append(outShape, a.shape[axis+1:]...)
+	out := New(outShape...)
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= a.shape[i]
+	}
+	for i := axis + 1; i < a.Rank(); i++ {
+		inner *= a.shape[i]
+	}
+	n := a.shape[axis]
+	for o := 0; o < outer; o++ {
+		for in := 0; in < inner; in++ {
+			base := o*n*inner + in
+			best, bi := a.data[base], 0
+			for k := 1; k < n; k++ {
+				if v := a.data[base+k*inner]; v > best {
+					best, bi = v, k
+				}
+			}
+			out.data[o*inner+in] = float32(bi)
+		}
+	}
+	return out
+}
+
+// Softmax returns the softmax over the last axis of a, computed with the
+// max-subtraction trick for numerical stability.
+func Softmax(a *Tensor) *Tensor {
+	if a.Rank() == 0 {
+		return Ones()
+	}
+	n := a.shape[a.Rank()-1]
+	rows := a.Size() / n
+	out := New(a.shape...)
+	for r := 0; r < rows; r++ {
+		row := a.data[r*n : (r+1)*n]
+		orow := out.data[r*n : (r+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - m))
+			orow[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range orow {
+			orow[i] *= inv
+		}
+	}
+	return out
+}
+
+// LogSoftmax returns log(softmax(a)) over the last axis, computed stably.
+func LogSoftmax(a *Tensor) *Tensor {
+	if a.Rank() == 0 {
+		return Zeros()
+	}
+	n := a.shape[a.Rank()-1]
+	rows := a.Size() / n
+	out := New(a.shape...)
+	for r := 0; r < rows; r++ {
+		row := a.data[r*n : (r+1)*n]
+		orow := out.data[r*n : (r+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - m))
+		}
+		lse := float32(math.Log(sum)) + m
+		for i, v := range row {
+			orow[i] = v - lse
+		}
+	}
+	return out
+}
+
+// Normalize scales a flat tensor to unit L2 norm; zero tensors are returned unchanged.
+func Normalize(a *Tensor) *Tensor {
+	n := a.Norm()
+	if n == 0 {
+		return a.Clone()
+	}
+	return MulScalar(a, 1/n)
+}
+
+// NormalizeL1 scales a to unit L1 mass (useful for probability vectors);
+// zero tensors are returned unchanged.
+func NormalizeL1(a *Tensor) *Tensor {
+	var s float64
+	for _, v := range a.data {
+		s += math.Abs(float64(v))
+	}
+	if s == 0 {
+		return a.Clone()
+	}
+	return MulScalar(a, float32(1/s))
+}
+
+// TopK returns the indices of the k largest elements of a flat tensor in
+// descending order of value. k is clamped to the tensor size.
+func TopK(a *Tensor, k int) []int {
+	n := a.Size()
+	if k > n {
+		k = n
+	}
+	idx := make([]int, 0, k)
+	// Simple selection; k is small in every call site.
+	used := make([]bool, n)
+	for c := 0; c < k; c++ {
+		best := float32(math.Inf(-1))
+		bi := -1
+		for i, v := range a.data {
+			if !used[i] && v > best {
+				best, bi = v, i
+			}
+		}
+		used[bi] = true
+		idx = append(idx, bi)
+	}
+	return idx
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import "fmt"
+
+// Transpose returns the transpose of a rank-2 tensor, materialized.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank-2 input, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Permute reorders the axes of a according to perm (a permutation of
+// 0..rank-1) and materializes the result.
+func Permute(a *Tensor, perm ...int) *Tensor {
+	r := a.Rank()
+	if len(perm) != r {
+		panic(fmt.Sprintf("tensor: Permute needs %d axes, got %v", r, perm))
+	}
+	seen := make([]bool, r)
+	outShape := make([]int, r)
+	for i, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("tensor: Permute invalid permutation %v for rank %d", perm, r))
+		}
+		seen[p] = true
+		outShape[i] = a.shape[p]
+	}
+	out := New(outShape...)
+
+	inStrides := make([]int, r)
+	s := 1
+	for i := r - 1; i >= 0; i-- {
+		inStrides[i] = s
+		s *= a.shape[i]
+	}
+	// Walk the output in order, computing the source offset from permuted coords.
+	idx := make([]int, r)
+	for o := range out.data {
+		src := 0
+		for i := 0; i < r; i++ {
+			src += idx[i] * inStrides[perm[i]]
+		}
+		out.data[o] = a.data[src]
+		for i := r - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < outShape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along the given axis. All inputs must agree on
+// every other dimension.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	r := ts[0].Rank()
+	if axis < 0 || axis >= r {
+		panic(fmt.Sprintf("tensor: Concat axis %d out of range for rank %d", axis, r))
+	}
+	outShape := append([]int(nil), ts[0].shape...)
+	total := ts[0].shape[axis]
+	for _, t := range ts[1:] {
+		if t.Rank() != r {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i := 0; i < r; i++ {
+			if i != axis && t.shape[i] != outShape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v on axis %d", outShape, t.shape, i))
+			}
+		}
+		total += t.shape[axis]
+	}
+	outShape[axis] = total
+	out := New(outShape...)
+
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= outShape[i]
+	}
+	for i := axis + 1; i < r; i++ {
+		inner *= outShape[i]
+	}
+	rowLen := total * inner
+	off := 0
+	for _, t := range ts {
+		tAxis := t.shape[axis]
+		for o := 0; o < outer; o++ {
+			src := t.data[o*tAxis*inner : (o+1)*tAxis*inner]
+			dst := out.data[o*rowLen+off : o*rowLen+off+tAxis*inner]
+			copy(dst, src)
+		}
+		off += tAxis * inner
+	}
+	return out
+}
+
+// Stack stacks equal-shape tensors along a new leading axis.
+func Stack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of no tensors")
+	}
+	shape := append([]int{len(ts)}, ts[0].shape...)
+	out := New(shape...)
+	n := ts[0].Size()
+	for i, t := range ts {
+		if !t.SameShape(ts[0]) {
+			panic(fmt.Sprintf("tensor: Stack shape mismatch %v vs %v", t.shape, ts[0].shape))
+		}
+		copy(out.data[i*n:(i+1)*n], t.data)
+	}
+	return out
+}
+
+// Slice extracts rows [lo,hi) along the leading axis, materialized.
+func Slice(a *Tensor, lo, hi int) *Tensor {
+	if a.Rank() == 0 {
+		panic("tensor: Slice of scalar")
+	}
+	d0 := a.shape[0]
+	if lo < 0 || hi > d0 || lo > hi {
+		panic(fmt.Sprintf("tensor: Slice [%d,%d) out of range for leading dim %d", lo, hi, d0))
+	}
+	inner := a.Size() / max(d0, 1)
+	outShape := append([]int{hi - lo}, a.shape[1:]...)
+	out := New(outShape...)
+	copy(out.data, a.data[lo*inner:hi*inner])
+	return out
+}
+
+// Row returns row i of a rank-≥1 tensor as a tensor with the leading axis removed.
+func Row(a *Tensor, i int) *Tensor {
+	s := Slice(a, i, i+1)
+	return s.Reshape(a.shape[1:]...)
+}
+
+// Gather selects rows of a (along the leading axis) by index, producing
+// len(idx) rows. It models the irregular-access data-transformation
+// operators prominent in symbolic workloads.
+func Gather(a *Tensor, idx []int) *Tensor {
+	if a.Rank() == 0 {
+		panic("tensor: Gather of scalar")
+	}
+	d0 := a.shape[0]
+	inner := a.Size() / max(d0, 1)
+	outShape := append([]int{len(idx)}, a.shape[1:]...)
+	out := New(outShape...)
+	for o, i := range idx {
+		if i < 0 || i >= d0 {
+			panic(fmt.Sprintf("tensor: Gather index %d out of range for leading dim %d", i, d0))
+		}
+		copy(out.data[o*inner:(o+1)*inner], a.data[i*inner:(i+1)*inner])
+	}
+	return out
+}
+
+// MaskedSelect returns a flat tensor of the elements of a where mask is
+// nonzero. mask must have a's shape.
+func MaskedSelect(a, mask *Tensor) *Tensor {
+	if !a.SameShape(mask) {
+		panic(fmt.Sprintf("tensor: MaskedSelect shape mismatch %v vs %v", a.shape, mask.shape))
+	}
+	var sel []float32
+	for i, m := range mask.data {
+		if m != 0 {
+			sel = append(sel, a.data[i])
+		}
+	}
+	if sel == nil {
+		sel = []float32{}
+	}
+	return FromSlice(sel, len(sel))
+}
+
+// Pad2D zero-pads the last two axes of an N×C×H×W tensor by p on every side.
+func Pad2D(a *Tensor, p int) *Tensor {
+	if a.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D needs rank-4 input, got %v", a.shape))
+	}
+	if p == 0 {
+		return a.Clone()
+	}
+	n, c, h, w := a.shape[0], a.shape[1], a.shape[2], a.shape[3]
+	out := New(n, c, h+2*p, w+2*p)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				src := a.data[((b*c+ch)*h+y)*w : ((b*c+ch)*h+y+1)*w]
+				dstBase := ((b*c+ch)*(h+2*p)+y+p)*(w+2*p) + p
+				copy(out.data[dstBase:dstBase+w], src)
+			}
+		}
+	}
+	return out
+}
+
+// Roll circularly shifts a flat tensor right by k positions (k may be
+// negative or exceed the length).
+func Roll(a *Tensor, k int) *Tensor {
+	n := a.Size()
+	out := New(a.shape...)
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	for i := 0; i < n; i++ {
+		out.data[(i+k)%n] = a.data[i]
+	}
+	return out
+}
+
+// OneHot returns a length-n vector with a 1 at index i.
+func OneHot(i, n int) *Tensor {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("tensor: OneHot index %d out of range [0,%d)", i, n))
+	}
+	t := New(n)
+	t.data[i] = 1
+	return t
+}

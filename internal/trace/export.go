@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Export formats: machine-readable dumps of a trace for external tooling.
+
+// jsonEvent is the JSON wire form of an Event.
+type jsonEvent struct {
+	Seq      int     `json:"seq"`
+	Name     string  `json:"name"`
+	Kernel   string  `json:"kernel,omitempty"`
+	Stage    string  `json:"stage,omitempty"`
+	Category string  `json:"category"`
+	Phase    string  `json:"phase"`
+	DurNs    int64   `json:"dur_ns"`
+	FLOPs    int64   `json:"flops"`
+	Bytes    int64   `json:"bytes"`
+	Alloc    int64   `json:"alloc"`
+	Sparsity float64 `json:"sparsity"`
+}
+
+// jsonTrace is the JSON wire form of a Trace.
+type jsonTrace struct {
+	Events []jsonEvent `json:"events"`
+	Params []Param     `json:"params,omitempty"`
+}
+
+// WriteJSON dumps the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := jsonTrace{Params: t.params}
+	for i := range t.Events {
+		e := &t.Events[i]
+		out.Events = append(out.Events, jsonEvent{
+			Seq:      e.Seq,
+			Name:     e.Name,
+			Kernel:   e.Kernel,
+			Stage:    e.Stage,
+			Category: e.Category.String(),
+			Phase:    e.Phase.String(),
+			DurNs:    e.Dur.Nanoseconds(),
+			FLOPs:    e.FLOPs,
+			Bytes:    e.Bytes,
+			Alloc:    e.Alloc,
+			Sparsity: e.Sparsity,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("traceEvents"
+// array, "X" complete events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TsUs float64           `json:"ts"`
+	DUs  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace dumps the trace in the Chrome trace-event format, with
+// one timeline track per phase. Events are laid out back-to-back per track
+// using their measured durations (the recorder does not keep absolute
+// timestamps).
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	cursor := map[Phase]time.Duration{}
+	for i := range t.Events {
+		e := &t.Events[i]
+		start := cursor[e.Phase]
+		cursor[e.Phase] += e.Dur
+		args := map[string]string{
+			"kernel":   e.Kernel,
+			"category": e.Category.String(),
+		}
+		if e.Stage != "" {
+			args["stage"] = e.Stage
+		}
+		evs = append(evs, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Category.String(),
+			Ph:   "X",
+			TsUs: float64(start.Nanoseconds()) / 1e3,
+			DUs:  float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  int(e.Phase) + 1,
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(map[string]interface{}{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportTrace() *Trace {
+	tr := New()
+	e1 := mkEvent("MatMul", MatMul, Neural, 2*time.Millisecond, 100, 200)
+	e1.Kernel = "sgemm_nn"
+	tr.Append(e1)
+	e2 := mkEvent("CircularConv", VectorEltwise, Symbolic, 3*time.Millisecond, 50, 400)
+	e2.Stage = "bind"
+	tr.Append(e2)
+	tr.RegisterParam(Param{Name: "w", Kind: "weight", Bytes: 64})
+	return tr
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Events []map[string]interface{} `json:"events"`
+		Params []map[string]interface{} `json:"params"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Events) != 2 || len(decoded.Params) != 1 {
+		t.Fatalf("decoded %d events, %d params", len(decoded.Events), len(decoded.Params))
+	}
+	ev := decoded.Events[0]
+	if ev["name"] != "MatMul" || ev["phase"] != "neural" || ev["kernel"] != "sgemm_nn" {
+		t.Fatalf("event 0 = %v", ev)
+	}
+	if ev["dur_ns"].(float64) != 2e6 {
+		t.Fatalf("duration = %v", ev["dur_ns"])
+	}
+	if decoded.Events[1]["stage"] != "bind" {
+		t.Fatalf("stage missing: %v", decoded.Events[1])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("events = %d", len(decoded.TraceEvents))
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+	// The two phases land on distinct timeline tracks.
+	if decoded.TraceEvents[0].TID == decoded.TraceEvents[1].TID {
+		t.Fatal("phases must use distinct tracks")
+	}
+	if !strings.Contains(buf.String(), "displayTimeUnit") {
+		t.Fatal("missing displayTimeUnit")
+	}
+}
+
+func TestChromeTracePhaseTracksPackBackToBack(t *testing.T) {
+	tr := New()
+	tr.Append(mkEvent("a", Other, Symbolic, time.Millisecond, 0, 0))
+	tr.Append(mkEvent("b", Other, Symbolic, time.Millisecond, 0, 0))
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Ts float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.TraceEvents[0].Ts != 0 || decoded.TraceEvents[1].Ts != 1000 {
+		t.Fatalf("timestamps = %+v", decoded.TraceEvents)
+	}
+}
+
+func TestExportEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import "time"
+
+// Graph is the operator dependency DAG reconstructed from tensor IDs:
+// an edge u→v exists when event v consumed a tensor most recently produced
+// by event u. It backs the paper's operation-and-dataflow analysis (Fig. 4).
+type Graph struct {
+	N       int     // number of events/nodes
+	Adj     [][]int // Adj[u] lists successors of u
+	Parents [][]int // Parents[v] lists predecessors of v
+	events  []Event
+}
+
+// BuildGraph reconstructs the dependency DAG of a trace.
+func BuildGraph(t *Trace) *Graph {
+	n := len(t.Events)
+	g := &Graph{
+		N:       n,
+		Adj:     make([][]int, n),
+		Parents: make([][]int, n),
+		events:  t.Events,
+	}
+	producer := make(map[uint64]int) // tensor ID -> event that most recently produced it
+	for v := range t.Events {
+		e := &t.Events[v]
+		seen := make(map[int]bool)
+		for _, id := range e.Inputs {
+			if u, ok := producer[id]; ok && u != v && !seen[u] {
+				seen[u] = true
+				g.Adj[u] = append(g.Adj[u], v)
+				g.Parents[v] = append(g.Parents[v], u)
+			}
+		}
+		for _, id := range e.Outputs {
+			producer[id] = v
+		}
+	}
+	return g
+}
+
+// Event returns the event at node i.
+func (g *Graph) Event(i int) *Event { return &g.events[i] }
+
+// Edges returns the total edge count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// CriticalPath returns the longest-duration dependency chain through the
+// DAG as event indices in execution order, along with its total duration.
+// Because events are logged in execution order and an edge always points
+// from an earlier to a later event, a single forward pass suffices.
+func (g *Graph) CriticalPath() ([]int, time.Duration) {
+	if g.N == 0 {
+		return nil, 0
+	}
+	best := make([]time.Duration, g.N)
+	prev := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		prev[v] = -1
+		best[v] = g.events[v].Dur
+		for _, u := range g.Parents[v] {
+			if cand := best[u] + g.events[v].Dur; cand > best[v] {
+				best[v] = cand
+				prev[v] = u
+			}
+		}
+	}
+	end := 0
+	for v := 1; v < g.N; v++ {
+		if best[v] > best[end] {
+			end = v
+		}
+	}
+	var path []int
+	for v := end; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best[end]
+}
+
+// PathPhaseShare returns the fraction of the given path's duration spent in
+// each phase. This quantifies the paper's observation that symbolic
+// computation lies on the critical path of end-to-end inference.
+func (g *Graph) PathPhaseShare(path []int) map[Phase]float64 {
+	var total time.Duration
+	per := make(map[Phase]time.Duration)
+	for _, v := range path {
+		e := &g.events[v]
+		total += e.Dur
+		per[e.Phase] += e.Dur
+	}
+	out := make(map[Phase]float64, len(per))
+	if total == 0 {
+		return out
+	}
+	for p, d := range per {
+		out[p] = float64(d) / float64(total)
+	}
+	return out
+}
+
+// CrossPhaseEdges counts dependency edges that cross from one phase into
+// the other, split by direction. A neural→symbolic edge means symbolic
+// computation consumes neural results (the NVSA/VSAIT/PrAE pattern); a
+// symbolic→neural edge means symbolic knowledge is compiled into the
+// neural structure (the LNN/LTN/NLM/ZeroC pattern).
+func (g *Graph) CrossPhaseEdges() (neuralToSymbolic, symbolicToNeural int) {
+	for u, succ := range g.Adj {
+		for _, v := range succ {
+			pu, pv := g.events[u].Phase, g.events[v].Phase
+			switch {
+			case pu == Neural && pv == Symbolic:
+				neuralToSymbolic++
+			case pu == Symbolic && pv == Neural:
+				symbolicToNeural++
+			}
+		}
+	}
+	return
+}
+
+// MaxWidth estimates available operator-level parallelism: it returns the
+// maximum number of events whose dependency depth is equal — i.e. the widest
+// antichain layer under the longest-path layering.
+func (g *Graph) MaxWidth() int {
+	depth := make([]int, g.N)
+	counts := make(map[int]int)
+	maxW := 0
+	for v := 0; v < g.N; v++ {
+		d := 0
+		for _, u := range g.Parents[v] {
+			if depth[u]+1 > d {
+				d = depth[u] + 1
+			}
+		}
+		depth[v] = d
+		counts[d]++
+		if counts[d] > maxW {
+			maxW = counts[d]
+		}
+	}
+	return maxW
+}
+
+// Depth returns the dependency depth of the graph (longest chain by hops).
+func (g *Graph) Depth() int {
+	depth := make([]int, g.N)
+	maxD := 0
+	for v := 0; v < g.N; v++ {
+		d := 0
+		for _, u := range g.Parents[v] {
+			if depth[u]+1 > d {
+				d = depth[u] + 1
+			}
+		}
+		depth[v] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if g.N == 0 {
+		return 0
+	}
+	return maxD + 1
+}
+
+// SequentialFraction returns the duration-weighted fraction of the trace
+// on the critical path: 1.0 means fully sequential execution, lower values
+// indicate exploitable parallelism.
+func (g *Graph) SequentialFraction() float64 {
+	path, d := g.CriticalPath()
+	_ = path
+	var total time.Duration
+	for i := range g.events {
+		total += g.events[i].Dur
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(d) / float64(total)
+}

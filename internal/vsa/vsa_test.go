@@ -1,0 +1,176 @@
+package vsa
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+)
+
+func TestMAPBindSelfInverse(t *testing.T) {
+	s := NewSpace(MAP, 1024, 1)
+	e := ops.New()
+	a, b := s.Random(), s.Random()
+	bound := s.Bind(e, a, b)
+	rec := s.Unbind(e, a, bound)
+	if sim := s.Similarity(e, rec, b); sim < 0.999 {
+		t.Fatalf("MAP unbind similarity = %v, want ~1", sim)
+	}
+}
+
+func TestMAPBoundDissimilarToOperands(t *testing.T) {
+	s := NewSpace(MAP, 2048, 2)
+	e := ops.New()
+	a, b := s.Random(), s.Random()
+	bound := s.Bind(e, a, b)
+	if sim := s.Similarity(e, bound, a); sim > 0.15 || sim < -0.15 {
+		t.Fatalf("bound vector too similar to operand: %v", sim)
+	}
+}
+
+func TestHRRBindApproxInverse(t *testing.T) {
+	s := NewSpace(HRR, 1024, 3)
+	e := ops.New()
+	a, b := s.Random(), s.Random()
+	bound := s.Bind(e, a, b)
+	rec := s.Unbind(e, a, bound)
+	if sim := s.Similarity(e, rec, b); sim < 0.5 {
+		t.Fatalf("HRR unbind similarity = %v, want > 0.5", sim)
+	}
+}
+
+func TestBundlePreservesSimilarity(t *testing.T) {
+	for _, model := range []Model{MAP, HRR} {
+		s := NewSpace(model, 2048, 4)
+		e := ops.New()
+		a, b, c := s.Random(), s.Random(), s.Random()
+		bun := s.Bundle(e, a, b)
+		if sa := s.Similarity(e, bun, a); sa < 0.3 {
+			t.Fatalf("%v bundle lost member similarity: %v", model, sa)
+		}
+		if sc := s.Similarity(e, bun, c); sc > 0.2 || sc < -0.2 {
+			t.Fatalf("%v bundle similar to non-member: %v", model, sc)
+		}
+	}
+}
+
+func TestPermuteChangesAndInverts(t *testing.T) {
+	s := NewSpace(MAP, 512, 5)
+	e := ops.New()
+	a := s.Random()
+	p := s.Permute(e, a, 7)
+	if sim := s.Similarity(e, p, a); sim > 0.3 {
+		t.Fatalf("permuted vector too similar: %v", sim)
+	}
+	back := s.Permute(e, p, -7)
+	if sim := s.Similarity(e, back, a); sim < 0.999 {
+		t.Fatalf("permutation not inverted: %v", sim)
+	}
+}
+
+func TestCodebookCleanup(t *testing.T) {
+	s := NewSpace(MAP, 1024, 6)
+	e := ops.New()
+	names := []string{"circle", "square", "triangle", "star"}
+	cb := NewCodebook(s, names)
+	for _, n := range names {
+		got, score := cb.Cleanup(e, cb.Vector(n))
+		if got != n {
+			t.Fatalf("cleanup(%s) = %s", n, got)
+		}
+		if score < 0.999 {
+			t.Fatalf("cleanup score = %v", score)
+		}
+	}
+}
+
+func TestCodebookCleanupNoisy(t *testing.T) {
+	s := NewSpace(MAP, 2048, 7)
+	e := ops.New()
+	cb := NewCodebook(s, []string{"a", "b", "c"})
+	// Bundle the target with an unrelated vector: cleanup should still win.
+	noisy := s.Bundle(e, cb.Vector("b"), s.Random())
+	got, _ := cb.Cleanup(e, noisy)
+	if got != "b" {
+		t.Fatalf("noisy cleanup = %s, want b", got)
+	}
+}
+
+func TestCodebookDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate symbol")
+		}
+	}()
+	NewCodebook(NewSpace(MAP, 64, 8), []string{"x", "x"})
+}
+
+func TestCodebookScoresShapeAndBytes(t *testing.T) {
+	s := NewSpace(HRR, 256, 9)
+	e := ops.New()
+	cb := NewCodebook(s, []string{"p", "q", "r", "t", "u"})
+	scores := cb.Scores(e, s.Random())
+	if scores.Size() != 5 {
+		t.Fatalf("scores size = %d", scores.Size())
+	}
+	if cb.Bytes() != int64(5*256*4) {
+		t.Fatalf("codebook bytes = %d", cb.Bytes())
+	}
+	if cb.Len() != 5 {
+		t.Fatalf("codebook len = %d", cb.Len())
+	}
+}
+
+func TestLSHEncoderLocality(t *testing.T) {
+	s := NewSpace(MAP, 2048, 10)
+	enc := NewLSHEncoder(s, 32, 11)
+	e := ops.New()
+	g := NewSpace(MAP, 32, 12) // reuse RNG plumbing for feature draws
+	f1 := g.rng.Normal(0, 1, 32)
+	// A small perturbation of f1 must hash nearby; an unrelated vector far.
+	f2 := f1.Clone()
+	for i := 0; i < 3; i++ {
+		f2.Data()[i] += 0.01
+	}
+	f3 := g.rng.Normal(0, 1, 32)
+	h1 := enc.Encode(e, f1)
+	h2 := enc.Encode(e, f2)
+	h3 := enc.Encode(e, f3)
+	near := s.Similarity(e, h1, h2)
+	far := s.Similarity(e, h1, h3)
+	if near < 0.9 {
+		t.Fatalf("LSH near similarity = %v", near)
+	}
+	if far > near-0.3 {
+		t.Fatalf("LSH failed to separate: near=%v far=%v", near, far)
+	}
+	if enc.Bytes() != int64(2048*32*4) {
+		t.Fatalf("encoder bytes = %d", enc.Bytes())
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if MAP.String() != "MAP" || HRR.String() != "HRR" {
+		t.Fatal("model strings wrong")
+	}
+	if fmt.Sprint(Model(9)) != "Model(9)" {
+		t.Fatal("unknown model string wrong")
+	}
+}
+
+func TestHRRBundleOfBindingsDecodable(t *testing.T) {
+	// The NVSA pattern: bundle several role-filler bindings, then probe.
+	s := NewSpace(HRR, 2048, 13)
+	e := ops.New()
+	roleA, roleB := s.Random(), s.Random()
+	fillerX, fillerY := s.Random(), s.Random()
+	record := s.Bundle(e, s.Bind(e, roleA, fillerX), s.Bind(e, roleB, fillerY))
+	gotX := s.Unbind(e, roleA, record)
+	if sim := s.Similarity(e, gotX, fillerX); sim < 0.3 {
+		t.Fatalf("role-filler retrieval = %v", sim)
+	}
+	// Cross-probe must not retrieve the other filler strongly.
+	if leak := s.Similarity(e, gotX, fillerY); leak > 0.25 {
+		t.Fatalf("cross-role leak = %v", leak)
+	}
+}

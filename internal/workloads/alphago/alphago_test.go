@@ -1,0 +1,109 @@
+package alphago
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestBoardWinner(t *testing.T) {
+	b := newBoard(7)
+	for i := 0; i < 4; i++ {
+		b.cells[2*7+i] = 1 // horizontal row
+	}
+	if b.winner(4) != 1 {
+		t.Fatal("horizontal win not detected")
+	}
+	b2 := newBoard(7)
+	for i := 0; i < 4; i++ {
+		b2.cells[i*7+3] = -1 // vertical
+	}
+	if b2.winner(4) != -1 {
+		t.Fatal("vertical win not detected")
+	}
+	b3 := newBoard(7)
+	for i := 0; i < 4; i++ {
+		b3.cells[i*7+i] = 1 // diagonal
+	}
+	if b3.winner(4) != 1 {
+		t.Fatal("diagonal win not detected")
+	}
+	if newBoard(7).winner(4) != 0 {
+		t.Fatal("empty board has no winner")
+	}
+}
+
+func TestSearchReturnsLegalMove(t *testing.T) {
+	w := New(Config{Board: 5, Connect: 3, Simulations: 24})
+	e := ops.New()
+	b := newBoard(5)
+	mv, err := w.Search(e, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv < 0 || mv >= 25 || b.cells[mv] != 0 {
+		t.Fatalf("illegal move %d", mv)
+	}
+}
+
+func TestSearchFindsImmediateWin(t *testing.T) {
+	// Player 1 has three in a row with an open end: the search must win.
+	w := New(Config{Board: 5, Connect: 4, Simulations: 200, Seed: 3})
+	b := newBoard(5)
+	b.cells[2*5+0], b.cells[2*5+1], b.cells[2*5+2] = 1, 1, 1
+	// Block one end so only cell (2,3) wins.
+	e := ops.New()
+	mv, err := w.Search(e, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := mv == 2*5+3
+	if !win {
+		t.Fatalf("search missed the winning move, played %d", mv)
+	}
+}
+
+func TestRunRecordsBothPhases(t *testing.T) {
+	w := New(Config{Board: 5, Connect: 4, Simulations: 16, Moves: 2})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if tr.PhaseDuration(trace.Neural) == 0 || tr.PhaseDuration(trace.Symbolic) == 0 {
+		t.Fatal("both phases must record time")
+	}
+	stages := map[string]bool{}
+	for _, s := range tr.ByStage() {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"mcts_select", "mcts_expand", "mcts_backup"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing; have %v", want, stages)
+		}
+	}
+	// Symbolic[Neuro]: "Others" (tree ops) must dominate the symbolic mix.
+	sh := tr.CategoryShare(trace.Symbolic)
+	if sh[trace.Other] < 0.5 {
+		t.Fatalf("symbolic Others share = %v, want dominant", sh[trace.Other])
+	}
+}
+
+func TestPlayGreedyGameTerminates(t *testing.T) {
+	w := New(Config{Board: 5, Connect: 4, Simulations: 12, Seed: 7})
+	winner, err := w.PlayGreedyGame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 1 && winner != -1 && winner != 0 {
+		t.Fatalf("winner = %d", winner)
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{Board: 5})
+	if w.Name() != "AlphaGo" || w.Category() != "Symbolic[Neuro]" {
+		t.Fatal("identity wrong")
+	}
+}

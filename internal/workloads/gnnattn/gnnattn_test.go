@@ -1,0 +1,102 @@
+package gnnattn
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestForwardShape(t *testing.T) {
+	w := New(Config{Nodes: 64, Dim: 16, Layers: 1})
+	e := ops.New()
+	h, err := w.Forward(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dim(0) != 64 || h.Dim(1) != 16 {
+		t.Fatalf("embedding shape = %v", h.Shape())
+	}
+	if !h.AllFinite() {
+		t.Fatal("embeddings contain NaN/Inf")
+	}
+}
+
+func TestSparseKernelsRecorded(t *testing.T) {
+	w := New(Config{Nodes: 64, Dim: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, ev := range e.Trace().Events {
+		names[ev.Name]++
+	}
+	// The Table-I operations for this algorithm: SpMM and SDDMM.
+	if names["SDDMM"] != 2 || names["SpMM"] != 2 {
+		t.Fatalf("sparse kernels missing: %v", names)
+	}
+	// They must be in the symbolic phase with the attention stage label.
+	for _, ev := range e.Trace().Events {
+		if ev.Name == "SpMM" && (ev.Phase != trace.Symbolic || ev.Stage != "relational_attention") {
+			t.Fatalf("SpMM event misattributed: %+v", ev)
+		}
+	}
+}
+
+func TestEdgeSoftmaxRowsSumToOne(t *testing.T) {
+	w := New(Config{Nodes: 48, Dim: 8, Layers: 1})
+	e := ops.New()
+	q := w.wq[0].Forward(e, w.feats)
+	k := w.wk[0].Forward(e, w.feats)
+	logits := w.adj.SDDMM(q, k)
+	att := w.edgeSoftmax(e, logits, 0.25)
+	for r := 0; r < att.Rows; r++ {
+		lo, hi := att.RowPtr[r], att.RowPtr[r+1]
+		if lo == hi {
+			continue
+		}
+		var sum float32
+		for p := lo; p < hi; p++ {
+			if att.Val[p] < 0 {
+				t.Fatalf("negative attention weight %v", att.Val[p])
+			}
+			sum += att.Val[p]
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d attention sums to %v", r, sum)
+		}
+	}
+}
+
+func TestCommunitySeparation(t *testing.T) {
+	w := New(Config{Nodes: 200, Communities: 4, Homophily: 0.95, Seed: 2})
+	e := ops.New()
+	acc, err := w.ClassifyAccuracy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance is 0.25; homophilous attention over community features must
+	// separate far better even untrained.
+	if acc < 0.6 {
+		t.Fatalf("community accuracy = %v, want > 0.6", acc)
+	}
+}
+
+func TestKnowledgeRegistered(t *testing.T) {
+	w := New(Config{Nodes: 64})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Trace().ParamBytesByKind()["knowledge"] == 0 {
+		t.Fatal("edge knowledge not registered")
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{Nodes: 32})
+	if w.Name() != "GNN+attention" || w.Category() != "Neuro_Symbolic" {
+		t.Fatal("identity wrong")
+	}
+}

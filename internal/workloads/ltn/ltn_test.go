@@ -1,0 +1,111 @@
+package ltn
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestSatisfiabilityHighAfterTraining(t *testing.T) {
+	w := New(Config{Samples: 128, Seed: 2})
+	e := ops.New()
+	sat, err := w.Satisfiability(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 0.6 || sat > 1 {
+		t.Fatalf("satisfiability = %v, want in (0.6, 1]", sat)
+	}
+}
+
+func TestQueryAccuracy(t *testing.T) {
+	w := New(Config{Samples: 200, Seed: 4})
+	if acc := w.QueryAccuracy(); acc < 0.8 {
+		t.Fatalf("query accuracy = %v, want >= 0.8 on separable blobs", acc)
+	}
+}
+
+func TestPhaseSplitBalanced(t *testing.T) {
+	// The paper reports LTN at roughly half neural, half symbolic.
+	w := New(Config{})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	share := e.Trace().PhaseShare(trace.Symbolic)
+	if share < 0.2 || share > 0.85 {
+		t.Fatalf("symbolic share = %v, want balanced", share)
+	}
+}
+
+func TestNeuralDominatedByMatMul(t *testing.T) {
+	w := New(Config{})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	sh := e.Trace().CategoryShare(trace.Neural)
+	if sh[trace.MatMul] < 0.3 {
+		t.Fatalf("neural MatMul share = %v, want dominant (Fig. 3a)", sh[trace.MatMul])
+	}
+}
+
+func TestStages(t *testing.T) {
+	w := New(Config{})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	for _, s := range e.Trace().ByStage() {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"axiom_membership", "axiom_exclusion", "axiom_existence", "satisfiability"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing; have %v", want, stages)
+		}
+	}
+}
+
+func TestUntrainedSatLower(t *testing.T) {
+	trained := New(Config{Samples: 128, Seed: 6})
+	untrained := New(Config{Samples: 128, Seed: 6, Epochs: 1})
+	st, _ := trained.Satisfiability(ops.New())
+	su, _ := untrained.Satisfiability(ops.New())
+	if st < su-0.05 {
+		t.Fatalf("training should not reduce satisfiability: trained=%v vs untrained=%v", st, su)
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{Samples: 32, Epochs: 1})
+	if w.Name() != "LTN" || w.Category() != "Neuro_Symbolic" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestFitDifferentiableImprovesSatisfiability(t *testing.T) {
+	// Start from a nearly untrained head (one SGD epoch) and train by
+	// maximizing theory satisfiability with autograd.
+	w := New(Config{Samples: 160, Epochs: 1, Seed: 8})
+	before, after := w.FitDifferentiable(150, 2.0)
+	if after <= before {
+		t.Fatalf("satisfiability did not improve: %v -> %v", before, after)
+	}
+	if after < 0.7 {
+		t.Fatalf("post-training satisfiability = %v, want >= 0.7", after)
+	}
+	// The fitted head must also answer queries well.
+	if acc := w.QueryAccuracy(); acc < 0.8 {
+		t.Fatalf("query accuracy after differentiable fit = %v", acc)
+	}
+	// And the profiled theory evaluation agrees with the training-side sat.
+	sat, err := w.Satisfiability(ops.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 0.6 {
+		t.Fatalf("profiled satisfiability = %v", sat)
+	}
+}

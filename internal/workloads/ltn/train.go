@@ -1,0 +1,87 @@
+package ltn
+
+import (
+	"math"
+
+	"github.com/neurosym/nsbench/internal/autograd"
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// FitDifferentiable trains the predicate heads by maximizing the theory's
+// satisfiability with reverse-mode autodiff — the actual LTN training
+// procedure: the fuzzy axioms become a differentiable loss, and gradients
+// flow through the quantifier aggregations and connectives into the neural
+// groundings.
+//
+// The loss is the p-mean-error (p=2) form of the axiom set: for every
+// class c, ∀x∈c: P_c(x) (membership) and ∀x∉c: ¬P_c(x) (exclusion).
+// Returns the theory satisfiability before and after training, measured as
+// 1 - √loss.
+func (w *LTN) FitDifferentiable(epochs int, lr float32) (satBefore, satAfter float64) {
+	h := w.hiddenFeatures()
+	n, hd := h.Dim(0), h.Dim(1)
+	k := w.cfg.Classes
+
+	// Bias-augmented constant features.
+	hb := tensor.Concat(1, h, tensor.Ones(n, 1))
+	x := autograd.Const(hb)
+
+	// Trainable head (transposed to (hd+1) × k for a single MatMul).
+	headT := tensor.New(hd+1, k)
+	for c := 0; c < k; c++ {
+		for j := 0; j <= hd; j++ {
+			headT.Set(w.head.At(c, j), j, c)
+		}
+	}
+	params := autograd.NewVar(headT, true)
+
+	// Axiom masks: member[c] selects class-c rows of column c; the
+	// complement drives the exclusion axioms. Flattened to n×k constants.
+	member := tensor.New(n, k)
+	exclude := tensor.New(n, k)
+	memberCount, excludeCount := 0, 0
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			if w.data.Y[i] == c {
+				member.Set(1, i, c)
+				memberCount++
+			} else {
+				exclude.Set(1, i, c)
+				excludeCount++
+			}
+		}
+	}
+
+	loss := func() *autograd.Var {
+		params.ZeroGrad()
+		truths := autograd.Sigmoid(autograd.MatMul(x, params)) // n × k
+		// Membership: (1 - P_c(x))² over class members.
+		memErr := autograd.Square(autograd.Sub(autograd.Const(tensor.Ones(n, k)), truths))
+		memTerm := autograd.MulScalar(autograd.Sum(autograd.Mul(memErr, autograd.Const(member))), 1/float32(memberCount))
+		// Exclusion: P_c(x)² over non-members (¬P_c must hold).
+		excErr := autograd.Square(truths)
+		excTerm := autograd.MulScalar(autograd.Sum(autograd.Mul(excErr, autograd.Const(exclude))), 1/float32(excludeCount))
+		return autograd.Add(memTerm, excTerm)
+	}
+
+	sat := func(l float32) float64 { return clamp01(1 - math.Sqrt(float64(l)/2)) }
+
+	opt := &autograd.SGD{Params: []*autograd.Var{params}, LR: lr}
+	first := loss()
+	satBefore = sat(first.Value.Item())
+	for e := 0; e < epochs; e++ {
+		l := loss()
+		l.Backward()
+		opt.Step()
+	}
+	final := loss()
+	satAfter = sat(final.Value.Item())
+
+	// Write the fitted head back into the workload's inference parameters.
+	for c := 0; c < k; c++ {
+		for j := 0; j <= hd; j++ {
+			w.head.Set(params.Value.At(j, c), c, j)
+		}
+	}
+	return satBefore, satAfter
+}

@@ -1,0 +1,129 @@
+// Package neural implements the pure-neural RPM baseline the paper (and
+// the NVSA evaluation it cites) compares against: a CNN embeds the context
+// panels and every candidate, and an MLP scores each candidate against the
+// aggregated context embedding. Without symbolic rule abduction, the
+// baseline cannot exploit the task's relational structure and stays near
+// chance on held-out rule combinations — the accuracy gap that motivates
+// neuro-symbolic designs.
+package neural
+
+import (
+	"github.com/neurosym/nsbench/internal/nn"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/raven"
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	M       int   // RPM grid dimension; default 3
+	ImgSize int   // rendered panel resolution; default 32
+	Embed   int   // embedding width; default 128
+	Seed    int64 // default 1
+}
+
+func (c *Config) defaults() {
+	if c.M == 0 {
+		c.M = 3
+	}
+	if c.ImgSize == 0 {
+		c.ImgSize = 32
+	}
+	if c.Embed == 0 {
+		c.Embed = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Baseline is the workload instance.
+type Baseline struct {
+	cfg    Config
+	g      *tensor.RNG
+	cnn    *nn.CNN
+	scorer *nn.Sequential
+}
+
+// New constructs the baseline.
+func New(cfg Config) *Baseline {
+	cfg.defaults()
+	g := tensor.NewRNG(cfg.Seed)
+	return &Baseline{
+		cfg:    cfg,
+		g:      g,
+		cnn:    nn.NewCNN(g, "baseline.enc", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16, 32}, Residual: true, OutDim: cfg.Embed}),
+		scorer: nn.NewMLP(g, "baseline.scorer", 2*cfg.Embed, cfg.Embed, 1),
+	}
+}
+
+// Name implements the workload identity.
+func (w *Baseline) Name() string { return "NeuralBaseline" }
+
+// Category identifies the baseline.
+func (w *Baseline) Category() string { return "Neural (baseline)" }
+
+// Register records the model's persistent parameters.
+func (w *Baseline) Register(e *ops.Engine) {
+	w.cnn.Register(e)
+	w.scorer.Register(e)
+}
+
+// Run solves one generated task (all-neural; no symbolic phase).
+func (w *Baseline) Run(e *ops.Engine) error {
+	task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
+	_, err := w.Solve(e, task)
+	return err
+}
+
+// Solve embeds the panels and scores every candidate, returning the argmax.
+func (w *Baseline) Solve(e *ops.Engine, task raven.Task) (int, error) {
+	w.Register(e)
+	e.SetPhase(trace.Neural)
+	panels := append(append([]raven.Panel{}, task.Context...), task.Choices...)
+	imgs := make([]*tensor.Tensor, len(panels))
+	for i, p := range panels {
+		imgs[i] = p.Render(w.cfg.ImgSize).Reshape(1, w.cfg.ImgSize, w.cfg.ImgSize)
+	}
+	batch := e.HostToDevice(e.Stack(imgs...))
+	emb := w.cnn.Forward(e, batch)
+
+	ctx := len(task.Context)
+	ctxEmb := e.MeanAxis(e.Slice(emb, 0, ctx), 0) // Embed
+	scores := tensor.New(len(task.Choices))
+	for ci := range task.Choices {
+		cand := e.Slice(emb, ctx+ci, ctx+ci+1).Reshape(w.cfg.Embed)
+		in := e.Concat(0, ctxEmb, cand).Reshape(1, 2*w.cfg.Embed)
+		s := w.scorer.Forward(e, in)
+		scores.Data()[ci] = s.At(0, 0)
+	}
+	return tensor.ArgMax(scores), nil
+}
+
+// scorerParams exposes the scoring MLP's two linear layers.
+func (w *Baseline) scorerParams() (w1, b1, w2, b2 *tensor.Tensor) {
+	l1 := w.scorer.Layers[0].(*nn.Linear)
+	l2 := w.scorer.Layers[2].(*nn.Linear)
+	return l1.W, l1.B, l2.W, l2.B
+}
+
+// setScorerParams installs trained scorer parameters for inference.
+func (w *Baseline) setScorerParams(w1, b1, w2, b2 *tensor.Tensor) {
+	w.scorer.Layers[0].(*nn.Linear).SetWeights(w1, b1)
+	w.scorer.Layers[2].(*nn.Linear).SetWeights(w2, b2)
+}
+
+// SolveAccuracy runs n fresh tasks and returns the fraction correct
+// (expected near chance for untrained weights).
+func (w *Baseline) SolveAccuracy(n int) float64 {
+	correct := 0
+	for i := 0; i < n; i++ {
+		task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
+		e := ops.New()
+		if got, err := w.Solve(e, task); err == nil && got == task.AnswerIdx {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

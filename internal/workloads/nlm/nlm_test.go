@@ -1,0 +1,110 @@
+package nlm
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestForwardShapes(t *testing.T) {
+	w := New(Config{Objects: 12, Depth: 2, Width: 4})
+	e := ops.New()
+	u, b, err := w.Forward(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dim(0) != 12 || u.Dim(1) != 4 {
+		t.Fatalf("unary shape = %v", u.Shape())
+	}
+	if b.Dim(0) != 144 || b.Dim(1) != 4 {
+		t.Fatalf("binary shape = %v", b.Shape())
+	}
+}
+
+func TestGrandparentExact(t *testing.T) {
+	w := New(Config{Objects: 20, Seed: 7})
+	e := ops.New()
+	got := w.SolveGrandparent(e)
+	want := w.Family().Grandparent()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("grandparent(%d,%d) = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestGrandparentGeneralizesAcrossSizes(t *testing.T) {
+	// The lifted rule works unchanged on larger universes — the NLM
+	// generalization claim.
+	for _, n := range []int{8, 32, 64} {
+		w := New(Config{Objects: n, Seed: 11})
+		got := w.SolveGrandparent(ops.New())
+		want := w.Family().Grandparent()
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("n=%d: grandparent(%d,%d) mismatch", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPhasesAndWiringStages(t *testing.T) {
+	w := New(Config{})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if tr.PhaseDuration(trace.Neural) == 0 || tr.PhaseDuration(trace.Symbolic) == 0 {
+		t.Fatal("both phases must record time")
+	}
+	stages := map[string]bool{}
+	for _, s := range tr.ByStage() {
+		stages[s.Stage] = true
+	}
+	if !stages["wiring_l0"] || !stages["wiring_l1"] {
+		t.Fatalf("wiring stages missing: %v", stages)
+	}
+	// Symbolic wiring is transform/eltwise, no convolutions anywhere.
+	if tr.CategoryBreakdown(trace.Symbolic)[trace.DataTransform] == 0 {
+		t.Fatal("symbolic wiring must record data transforms")
+	}
+	if tr.CategoryBreakdown(trace.Neural)[trace.Convolution] != 0 {
+		t.Fatal("NLM has no convolutions")
+	}
+}
+
+func TestMLPsRecordMatMul(t *testing.T) {
+	w := New(Config{Objects: 12, Depth: 2})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Trace().CategoryBreakdown(trace.Neural)[trace.MatMul] == 0 {
+		t.Fatal("neural phase must contain the per-arity MLP GEMMs")
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{Objects: 8})
+	if w.Name() != "NLM" || w.Category() != "Neuro[Symbolic]" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestDeterministicForward(t *testing.T) {
+	run := func() float32 {
+		w := New(Config{Objects: 10, Seed: 5})
+		e := ops.New()
+		u, _, _ := w.Forward(e)
+		return u.Sum()
+	}
+	if run() != run() {
+		t.Fatal("forward pass not deterministic")
+	}
+}

@@ -1,0 +1,101 @@
+package nsvqa
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestRunAnswersAllQuestions(t *testing.T) {
+	// Run fails if any program answer disagrees with ground truth, so a
+	// clean run IS the accuracy check (execution is exact by construction).
+	w := New(Config{Questions: 16, Seed: 3})
+	if err := w.Run(ops.New()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteFilterCount(t *testing.T) {
+	w := New(Config{Seed: 4})
+	s := Scene{Objects: []Object{
+		{Color: "red", Shape: "cube", Size: "small"},
+		{Color: "red", Shape: "sphere", Size: "large"},
+		{Color: "blue", Shape: "cube", Size: "small"},
+	}}
+	e := ops.New()
+	p := Program{Steps: []Step{{Op: "filter_color", Arg: "red"}, {Op: "count"}}}
+	if got := w.Execute(e, s, p); got != "2" {
+		t.Fatalf("count = %s, want 2", got)
+	}
+	p2 := Program{Steps: []Step{{Op: "filter_size", Arg: "large"}, {Op: "filter_shape", Arg: "sphere"}, {Op: "exist"}}}
+	if got := w.Execute(e, s, p2); got != "yes" {
+		t.Fatalf("exist = %s, want yes", got)
+	}
+	p3 := Program{Steps: []Step{{Op: "filter_color", Arg: "yellow"}, {Op: "exist"}}}
+	if got := w.Execute(e, s, p3); got != "no" {
+		t.Fatalf("exist = %s, want no", got)
+	}
+}
+
+func TestExecuteEqualInteger(t *testing.T) {
+	w := New(Config{Seed: 5})
+	s := Scene{Objects: []Object{
+		{Color: "red"}, {Color: "blue"},
+	}}
+	sub := Program{Steps: []Step{{Op: "filter_color", Arg: "blue"}, {Op: "count"}}}
+	p := Program{Steps: []Step{
+		{Op: "filter_color", Arg: "red"}, {Op: "count"},
+		{Op: "equal_integer", Arg2: &sub},
+	}}
+	if got := w.Execute(ops.New(), s, p); got != "yes" {
+		t.Fatalf("equal_integer = %s, want yes", got)
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	w := New(Config{Questions: 6})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if tr.PhaseDuration(trace.Neural) == 0 || tr.PhaseDuration(trace.Symbolic) == 0 {
+		t.Fatal("both phases must record time")
+	}
+	// The symbolic executor is non-vector: pure "Others" operators.
+	sh := tr.CategoryShare(trace.Symbolic)
+	if sh[trace.Other] < 0.9 {
+		t.Fatalf("symbolic Others share = %v, want ~1 (non-vector format)", sh[trace.Other])
+	}
+	// The executor depends on the perception output.
+	g := trace.BuildGraph(tr)
+	if n2s, _ := g.CrossPhaseEdges(); n2s == 0 {
+		t.Fatal("executor must consume perception output")
+	}
+}
+
+func TestGenSceneRendersInk(t *testing.T) {
+	w := New(Config{Seed: 6})
+	s := w.GenScene()
+	if len(s.Objects) != 6 {
+		t.Fatalf("objects = %d", len(s.Objects))
+	}
+	if s.Image.Sum() <= 0 {
+		t.Fatal("scene rendered blank")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := Program{Steps: []Step{{Op: "filter_color", Arg: "red"}, {Op: "count"}}}
+	if p.String() != "filter_color(red) → count" {
+		t.Fatalf("String = %s", p.String())
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "NSVQA" || w.Category() != "Neuro|Symbolic" {
+		t.Fatal("identity wrong")
+	}
+}

@@ -1,0 +1,127 @@
+package nvsa
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/raven"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestSolveCorrectness(t *testing.T) {
+	w := New(Config{Dim: 256, ImgSize: 16, Noise: 0.005, Seed: 7})
+	acc := w.SolveAccuracy(20)
+	if acc < 0.9 {
+		t.Fatalf("NVSA accuracy = %v, want >= 0.9 at low noise", acc)
+	}
+}
+
+func TestRunProducesBothPhases(t *testing.T) {
+	w := New(Config{}) // default configuration, the one the figures use
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if tr.PhaseDuration(trace.Neural) == 0 || tr.PhaseDuration(trace.Symbolic) == 0 {
+		t.Fatal("both phases must record time")
+	}
+	// Symbolic must dominate (the paper's 92.1% observation).
+	if share := tr.PhaseShare(trace.Symbolic); share < 0.5 {
+		t.Fatalf("symbolic share = %v, want > 0.5", share)
+	}
+}
+
+func TestStagesPresent(t *testing.T) {
+	w := New(Config{Dim: 128, ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	for _, s := range e.Trace().ByStage() {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"pmf_to_vsa:number", "prob:color", "execute:type", "vsa_to_pmf"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing; have %v", want, stages)
+		}
+	}
+}
+
+func TestSymbolicSparsityHigh(t *testing.T) {
+	w := New(Config{Dim: 128, ImgSize: 16, Noise: 0.01})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	// The PMF-to-VSA joint expansions must exhibit the Fig. 5 sparsity.
+	for _, s := range e.Trace().ByStage() {
+		if strings.HasPrefix(s.Stage, "pmf_to_vsa:") && s.Stage != "pmf_to_vsa:number" {
+			if s.Sparsity < 0.8 {
+				t.Fatalf("stage %s sparsity = %v, want high", s.Stage, s.Sparsity)
+			}
+		}
+	}
+}
+
+func TestCodebookRegistered(t *testing.T) {
+	w := New(Config{Dim: 128, ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	kinds := e.Trace().ParamBytesByKind()
+	if kinds["codebook"] == 0 || kinds["weight"] == 0 {
+		t.Fatalf("params missing: %v", kinds)
+	}
+}
+
+func TestDataMovementRecorded(t *testing.T) {
+	w := New(Config{Dim: 128, ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	br := e.Trace().CategoryBreakdown(trace.Neural)
+	if br[trace.DataMovement] == 0 {
+		t.Fatal("host↔device transfers missing from the neural phase")
+	}
+	if br[trace.Convolution] == 0 || br[trace.MatMul] == 0 {
+		t.Fatal("neural phase must contain conv and matmul")
+	}
+}
+
+func TestNameAndCategory(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "NVSA" || w.Category() != "Neuro|Symbolic" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestSolve2x2(t *testing.T) {
+	w := New(Config{M: 2, Dim: 128, ImgSize: 16, Noise: 0.005, Seed: 3})
+	e := ops.New()
+	task := raven.Generate(raven.Config{M: 2, NumChoices: 4}, w.g)
+	got, err := w.Solve(e, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got >= 4 {
+		t.Fatalf("choice index out of range: %d", got)
+	}
+}
+
+func TestCrossPhaseDependency(t *testing.T) {
+	w := New(Config{Dim: 128, ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	g := trace.BuildGraph(e.Trace())
+	n2s, _ := g.CrossPhaseEdges()
+	if n2s == 0 {
+		t.Fatal("symbolic phase must consume neural outputs (Fig. 4 pattern)")
+	}
+}

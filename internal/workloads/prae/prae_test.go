@@ -1,0 +1,89 @@
+package prae
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestSolveCorrectness(t *testing.T) {
+	w := New(Config{ImgSize: 16, Noise: 0.005, Seed: 11})
+	if acc := w.SolveAccuracy(20); acc < 0.9 {
+		t.Fatalf("PrAE accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestPhasesAndStages(t *testing.T) {
+	w := New(Config{ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if tr.PhaseDuration(trace.Neural) == 0 || tr.PhaseDuration(trace.Symbolic) == 0 {
+		t.Fatal("both phases must record time")
+	}
+	stages := map[string]bool{}
+	for _, s := range tr.ByStage() {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"scene_inference", "abduce:number", "execute:color", "select"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing; have %v", want, stages)
+		}
+	}
+}
+
+func TestSceneInferenceSparsity(t *testing.T) {
+	w := New(Config{ImgSize: 16, Noise: 0.01})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range e.Trace().ByStage() {
+		if s.Stage == "scene_inference" {
+			// The exhaustive joint scene tensors are extremely sparse
+			// (paper: > 95%); with noise-floor thresholding ours must be too.
+			if s.Sparsity < 0.9 {
+				t.Fatalf("scene sparsity = %v, want > 0.9", s.Sparsity)
+			}
+			return
+		}
+	}
+	t.Fatal("scene_inference stage missing")
+}
+
+func TestSymbolicMemoryDominates(t *testing.T) {
+	// PrAE's symbolic phase must allocate more than its neural phase
+	// (Fig. 3b observation), driven by the exhaustive joint tensors.
+	w := New(Config{ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.Trace().StatsByPhase()
+	if stats[trace.Symbolic].Alloc < stats[trace.Neural].Alloc/4 {
+		t.Fatalf("symbolic alloc %d too small vs neural %d",
+			stats[trace.Symbolic].Alloc, stats[trace.Neural].Alloc)
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "PrAE" || w.Category() != "Neuro|Symbolic" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestCrossPhaseDependency(t *testing.T) {
+	w := New(Config{ImgSize: 16})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	g := trace.BuildGraph(e.Trace())
+	if n2s, _ := g.CrossPhaseEdges(); n2s == 0 {
+		t.Fatal("symbolic phase must consume neural outputs")
+	}
+}

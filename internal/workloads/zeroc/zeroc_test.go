@@ -1,0 +1,80 @@
+package zeroc
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/datasets"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestZeroShotRecognition(t *testing.T) {
+	w := New(Config{ImgSize: 32, Ensemble: 1, Seed: 3})
+	if acc := w.Accuracy(20); acc < 0.9 {
+		t.Fatalf("zero-shot accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestClassifyEachConcept(t *testing.T) {
+	w := New(Config{ImgSize: 32, Ensemble: 1, Seed: 5})
+	for _, name := range datasets.ConceptNames() {
+		inst := datasets.GenConceptGrid(32, name, w.g)
+		e := ops.New()
+		got, err := w.Classify(e, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("Classify(%s) = %s", name, got)
+		}
+	}
+}
+
+func TestNeuralDominates(t *testing.T) {
+	// Paper: ZeroC is the most neural-heavy workload (73.2% neural), due
+	// to the energy-based model ensemble.
+	w := New(Config{})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	if share := e.Trace().PhaseShare(trace.Neural); share < 0.5 {
+		t.Fatalf("neural share = %v, want > 0.5", share)
+	}
+}
+
+func TestStages(t *testing.T) {
+	w := New(Config{ImgSize: 32, Ensemble: 1})
+	e := ops.New()
+	if err := w.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	for _, s := range e.Trace().ByStage() {
+		stages[s.Stage] = true
+	}
+	if !stages["primitive_parsing"] || !stages["graph_matching"] {
+		t.Fatalf("stages missing: %v", stages)
+	}
+}
+
+func TestEnsembleScalesNeuralWork(t *testing.T) {
+	run := func(k int) int64 {
+		w := New(Config{ImgSize: 16, Ensemble: k})
+		e := ops.New()
+		if err := w.Run(e); err != nil {
+			t.Fatal(err)
+		}
+		return e.Trace().StatsByPhase()[trace.Neural].FLOPs
+	}
+	if run(4) <= run(1) {
+		t.Fatal("larger ensemble must execute more neural FLOPs")
+	}
+}
+
+func TestNameCategory(t *testing.T) {
+	w := New(Config{ImgSize: 16, Ensemble: 1})
+	if w.Name() != "ZeroC" || w.Category() != "Neuro[Symbolic]" {
+		t.Fatal("identity wrong")
+	}
+}
