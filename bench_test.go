@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/neurosym/nsbench/internal/backend"
 	"github.com/neurosym/nsbench/internal/cachesim"
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
@@ -165,7 +166,7 @@ func BenchmarkFig4CriticalPath(b *testing.B) {
 func BenchmarkFig5Sparsity(b *testing.B) {
 	var sparsity float64
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Fig5()
+		rows, err := core.Fig5(core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -389,4 +390,105 @@ func BenchmarkSubstrateRavenGenerate(b *testing.B) {
 			b.Fatal("invalid task")
 		}
 	}
+}
+
+// ---- Execution backends: serial vs parallel kernel dispatch ----------------
+//
+// The parallel families time the same kernel on a worker pool and report a
+// "speedup" metric against a serial baseline measured in the same process.
+// On a single-CPU host GOMAXPROCS=1 serializes the pool and the speedup
+// hovers around 1.0; the families exist so multi-core runs surface the
+// scaling directly in benchmark output.
+
+// serialBaselineNs times fn on the serial backend and returns ns per call.
+func serialBaselineNs(fn func()) float64 {
+	const iters = 3
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+func benchBackendGEMM(b *testing.B, workers int) {
+	g := tensor.NewRNG(11)
+	x := g.Normal(0, 1, 512, 512)
+	y := g.Normal(0, 1, 512, 512)
+	b.SetBytes(int64(tensor.BytesMatMul(512, 512, 512)))
+	if workers == 1 {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = tensor.MatMulOn(tensor.Serial, x, y)
+		}
+		return
+	}
+	serialNs := serialBaselineNs(func() { _ = tensor.MatMulOn(tensor.Serial, x, y) })
+	be := backend.NewParallel(workers)
+	defer be.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulOn(be, x, y)
+	}
+	b.StopTimer()
+	parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(serialNs/parNs, "speedup")
+}
+
+func BenchmarkBackendSerialGEMM512(b *testing.B)     { benchBackendGEMM(b, 1) }
+func BenchmarkBackendParallelGEMM512x2(b *testing.B) { benchBackendGEMM(b, 2) }
+func BenchmarkBackendParallelGEMM512x4(b *testing.B) { benchBackendGEMM(b, 4) }
+
+func benchBackendConv2D(b *testing.B, workers int) {
+	g := tensor.NewRNG(12)
+	in := g.Normal(0, 1, 4, 16, 32, 32)
+	w := g.Normal(0, 1, 32, 16, 3, 3)
+	if workers == 1 {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = tensor.Conv2DOn(tensor.Serial, in, w, nil, 1, 1)
+		}
+		return
+	}
+	serialNs := serialBaselineNs(func() { _ = tensor.Conv2DOn(tensor.Serial, in, w, nil, 1, 1) })
+	be := backend.NewParallel(workers)
+	defer be.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.Conv2DOn(be, in, w, nil, 1, 1)
+	}
+	b.StopTimer()
+	parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(serialNs/parNs, "speedup")
+}
+
+func BenchmarkBackendSerialConv2D(b *testing.B)     { benchBackendConv2D(b, 1) }
+func BenchmarkBackendParallelConv2Dx4(b *testing.B) { benchBackendConv2D(b, 4) }
+
+// benchBackendNVSA runs the full NVSA pipeline on the configured backend and
+// reports the symbolic-phase share, exercising circular convolution and the
+// factorization loop through the pool.
+func benchBackendNVSA(b *testing.B, cfg ops.Config) {
+	w := nvsa.New(nvsa.Config{Engine: cfg})
+	newEngine := cfg.Factory()
+	var last *ops.Engine
+	var sym time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := newEngine()
+		if err := w.Run(e); err != nil {
+			b.Fatal(err)
+		}
+		sym = e.Trace().PhaseDuration(trace.Symbolic)
+		last = e
+	}
+	b.StopTimer()
+	if last != nil {
+		last.Close() // tears down the factory's shared pool
+	}
+	b.ReportMetric(float64(sym.Microseconds()), "symbolic_us")
+}
+
+func BenchmarkBackendSerialNVSA(b *testing.B) { benchBackendNVSA(b, ops.Config{}) }
+func BenchmarkBackendParallelNVSAx4(b *testing.B) {
+	benchBackendNVSA(b, ops.Config{Backend: ops.BackendParallel, Workers: 4})
 }

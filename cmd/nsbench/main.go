@@ -15,18 +15,25 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to regenerate (fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig4, fig5, tab1, tab4, sweep, recs, all)")
 	device := flag.String("device", hwsim.RTX2080Ti.Name, "reference device for roofline and Table IV")
+	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(*experiment, dev); err != nil {
+	eng := ops.Config{Backend: *backendName, Workers: *workers}
+	if err := eng.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := run(*experiment, dev, eng); err != nil {
 		fatal(err)
 	}
 }
@@ -37,14 +44,15 @@ func fatal(err error) {
 }
 
 // run dispatches one experiment (or all of them).
-func run(experiment string, dev hwsim.Device) error {
+func run(experiment string, dev hwsim.Device, eng ops.Config) error {
 	needSuite := map[string]bool{"fig2a": true, "fig3a": true, "fig3b": true, "fig3c": true, "fig4": true, "all": true}
+	opts := core.Options{Engine: eng}
 
 	var reports []*core.Report
 	if needSuite[experiment] {
 		fmt.Fprintln(os.Stderr, "running the seven-workload suite (NVSA and friends take a few hundred ms each)...")
 		var err error
-		reports, err = core.Fig2a()
+		reports, err = core.Fig2a(opts)
 		if err != nil {
 			return err
 		}
@@ -72,7 +80,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "fig2b" {
 		if err := section(func() error {
-			rows, err := core.Fig2b()
+			rows, err := core.Fig2b(opts)
 			if err != nil {
 				return err
 			}
@@ -84,7 +92,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "fig2c" {
 		if err := section(func() error {
-			rows, err := core.Fig2c()
+			rows, err := core.Fig2c(opts)
 			if err != nil {
 				return err
 			}
@@ -116,7 +124,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "fig5" {
 		if err := section(func() error {
-			rows, err := core.Fig5()
+			rows, err := core.Fig5(opts)
 			if err != nil {
 				return err
 			}
@@ -128,7 +136,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "tab4" {
 		if err := section(func() error {
-			rows, err := core.Tab4(dev)
+			rows, err := core.Tab4(dev, opts)
 			if err != nil {
 				return err
 			}
@@ -140,7 +148,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "recs" {
 		if err := section(func() error {
-			rec, err := core.RecommendationAblations([]int{1, 2, 4, 8, 16})
+			rec, err := core.RecommendationAblations([]int{1, 2, 4, 8, 16}, opts)
 			if err != nil {
 				return err
 			}
@@ -152,7 +160,7 @@ func run(experiment string, dev hwsim.Device) error {
 	}
 	if all || experiment == "sweep" {
 		if err := section(func() error {
-			rows, err := core.ScalabilitySweep([]int{1024, 2048, 4096, 8192})
+			rows, err := core.ScalabilitySweep([]int{1024, 2048, 4096, 8192}, opts)
 			if err != nil {
 				return err
 			}
@@ -161,7 +169,7 @@ func run(experiment string, dev hwsim.Device) error {
 			for _, r := range rows {
 				fmt.Printf("%-8d %14v %9.1f%%\n", r.Dim, r.Total, 100*r.SymbolicShare)
 			}
-			nrows, err := core.NLMScaleSweep([]int{16, 32, 64})
+			nrows, err := core.NLMScaleSweep([]int{16, 32, 64}, opts)
 			if err != nil {
 				return err
 			}

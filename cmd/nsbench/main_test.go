@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Exercise the cheap experiment paths end-to-end (the heavyweight
 	// figure suite is covered by internal/core tests and the benchmarks).
 	for _, exp := range []string{"tab1", "fig5", "tab4"} {
-		if err := run(exp, hwsim.RTX2080Ti); err != nil {
+		if err := run(exp, hwsim.RTX2080Ti, ops.Config{}); err != nil {
 			t.Fatalf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", hwsim.RTX2080Ti); err == nil {
+	if err := run("fig99", hwsim.RTX2080Ti, ops.Config{}); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/trace"
 )
 
@@ -27,6 +28,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the raw trace as JSON to this file")
 	reportOut := flag.String("report", "", "write the report summary as JSON to this file")
 	chromeOut := flag.String("chrome-trace", "", "write a chrome://tracing / Perfetto timeline to this file")
+	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
@@ -37,8 +40,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "profiling %s...\n", w.Name())
-	r, err := core.Characterize(w, core.Options{Device: dev})
+	eng := ops.Config{Backend: *backendName, Workers: *workers}
+	if err := eng.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "profiling %s on the %s backend...\n", w.Name(), *backendName)
+	r, err := core.Characterize(w, core.Options{Device: dev, Engine: eng})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,157 @@
+package backend
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000, 1023} {
+		for chunks := 1; chunks <= 8; chunks++ {
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(n, chunks, c)
+				if lo != prev {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d", n, chunks, c, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d chunks=%d: chunk %d is inverted [%d,%d)", n, chunks, c, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d chunks=%d: coverage ends at %d", n, chunks, prev)
+			}
+		}
+	}
+}
+
+func TestNumChunksRespectsGrain(t *testing.T) {
+	cases := []struct {
+		n, grain, workers, want int
+	}{
+		{100, 1, 4, 4},   // plenty of work: one chunk per worker
+		{100, 50, 4, 2},  // grain limits to 2 chunks
+		{100, 200, 4, 1}, // too small to split
+		{0, 1, 4, 1},     // degenerate n
+		{100, 0, 4, 4},   // grain clamps to 1
+		{3, 1, 8, 3},     // never more chunks than items
+	}
+	for _, c := range cases {
+		if got := numChunks(c.n, c.grain, c.workers); got != c.want {
+			t.Errorf("numChunks(%d, %d, %d) = %d, want %d", c.n, c.grain, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	n := 10000
+	marks := make([]int32, n)
+	p.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestParallelForInlineBelowGrain(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	var calls int32
+	p.For(10, 100, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 10 {
+			t.Fatalf("inline chunk is [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("below-grain dispatch ran %d chunks, want 1", calls)
+	}
+}
+
+func TestParallelForNested(t *testing.T) {
+	// A nested For must not deadlock: inner dispatches fall back to inline
+	// execution when the pool is saturated.
+	p := NewParallel(2)
+	defer p.Close()
+	total := int64(0)
+	p.For(4, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(100, 1, func(ilo, ihi int) {
+				atomic.AddInt64(&total, int64(ihi-ilo))
+			})
+		}
+	})
+	if total != 400 {
+		t.Fatalf("nested For covered %d iterations, want 400", total)
+	}
+}
+
+func TestParallelCloseIdempotentAndForAfterClose(t *testing.T) {
+	p := NewParallel(2)
+	p.For(100, 1, func(lo, hi int) {})
+	p.Close()
+	p.Close() // must not panic
+	// For after Close degrades to inline execution rather than hanging.
+	ran := false
+	p.For(10, 1, func(lo, hi int) {
+		if lo == 0 {
+			ran = true
+		}
+	})
+	if !ran {
+		t.Fatal("For after Close did not run")
+	}
+}
+
+func TestScratchPoolRoundTrip(t *testing.T) {
+	var pool scratchPool
+	b := pool.get(100)
+	if len(b) != 100 {
+		t.Fatalf("got len %d, want 100", len(b))
+	}
+	pool.put(b)
+	b2 := pool.get(128) // same size class (2^7)
+	if len(b2) != 128 {
+		t.Fatalf("got len %d, want 128", len(b2))
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := sizeClass(c.n); got != c.want {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSerialBackend(t *testing.T) {
+	var s Serial
+	if s.Name() != "serial" || s.Workers() != 1 {
+		t.Fatalf("unexpected identity %s/%d", s.Name(), s.Workers())
+	}
+	calls := 0
+	s.For(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("serial chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial For ran %d chunks, want 1", calls)
+	}
+	buf := s.Scratch(64)
+	if len(buf) != 64 {
+		t.Fatalf("scratch len %d, want 64", len(buf))
+	}
+	s.Release(buf)
+	s.Close()
+}

@@ -1,0 +1,121 @@
+package backend
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel dispatches kernel chunks across a bounded pool of worker
+// goroutines. The pool is started lazily on the first dispatch wide enough
+// to split, so constructing a Parallel backend is free, and Close tears
+// the workers down.
+//
+// Chunk boundaries are a pure function of (n, grain, workers) — see the
+// package comment for the determinism contract — so results are
+// bit-identical to the Serial backend and event traces recorded above it
+// are reproducible run to run.
+type Parallel struct {
+	workers int
+	scratch scratchPool
+
+	start sync.Once
+	tasks chan func()
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewParallel returns a parallel backend with the given worker count;
+// workers < 1 selects runtime.GOMAXPROCS(0). Worker goroutines are not
+// spawned until the first parallel dispatch.
+func NewParallel(workers int) *Parallel {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel{workers: workers}
+}
+
+// Name identifies the backend.
+func (p *Parallel) Name() string { return fmt.Sprintf("parallel(%d)", p.workers) }
+
+// Workers returns the worker-pool size.
+func (p *Parallel) Workers() int { return p.workers }
+
+// For splits [0, n) into at most Workers() deterministic contiguous chunks
+// of at least grain iterations, runs chunk 0 on the calling goroutine and
+// the rest on the pool, and returns once all chunks complete.
+func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := numChunks(n, grain, p.workers)
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	p.start.Do(p.startWorkers)
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	for c := 1; c < chunks; c++ {
+		lo, hi := chunkBounds(n, chunks, c)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		// Hand the chunk to the pool; if every worker is busy (e.g. a
+		// misbehaving nested dispatch), run it inline so progress is
+		// guaranteed without unbounded goroutine growth.
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	lo, hi := chunkBounds(n, chunks, 0)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// startWorkers spawns the bounded worker pool. The task channel is
+// unbuffered on purpose: a send succeeds only when a worker is actually
+// idle to take it, so the select fallback in For runs the chunk inline
+// instead of queueing it where a saturated pool would never drain it —
+// nested dispatches cannot deadlock.
+func (p *Parallel) startWorkers() {
+	tasks := make(chan func())
+	p.tasks = tasks
+	for i := 0; i < p.workers; i++ {
+		go func() {
+			for task := range tasks {
+				task()
+			}
+		}()
+	}
+}
+
+// Scratch returns a pooled buffer with at least n elements.
+func (p *Parallel) Scratch(n int) []float64 { return p.scratch.get(n) }
+
+// Release returns a Scratch buffer to the pool.
+func (p *Parallel) Release(buf []float64) { p.scratch.put(buf) }
+
+// Close shuts down the worker pool. For must not be called afterwards;
+// Close is idempotent.
+func (p *Parallel) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	// Ensure the start once is consumed so a post-Close For cannot spawn a
+	// fresh pool, then stop any running workers.
+	p.start.Do(func() {})
+	if p.tasks != nil {
+		close(p.tasks)
+		// A nil channel is never ready to send, so a For after Close falls
+		// through its select to inline execution instead of panicking.
+		p.tasks = nil
+	}
+}

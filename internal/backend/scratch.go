@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// scratchPool pools float64 scratch buffers in power-of-two size classes so
+// kernels with different working-set sizes do not thrash a single pool slot.
+type scratchPool struct {
+	classes [maxSizeClass]sync.Pool
+}
+
+// maxSizeClass covers buffers up to 2^31 elements; larger requests are
+// allocated directly and dropped on release.
+const maxSizeClass = 32
+
+// sizeClass returns the pool index for a request of n elements: the
+// exponent of the smallest power of two >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a buffer with at least n elements, pooled when possible.
+func (p *scratchPool) get(n int) []float64 {
+	c := sizeClass(n)
+	if c >= maxSizeClass {
+		return make([]float64, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return v.(*scratchBuf).b[:n]
+	}
+	return make([]float64, 1<<c)[:n]
+}
+
+// put returns a buffer to its size class. Buffers whose capacity is not an
+// exact size class (direct allocations) are dropped.
+func (p *scratchPool) put(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := sizeClass(c)
+	if class >= maxSizeClass {
+		return
+	}
+	p.classes[class].Put(&scratchBuf{b: buf[:c]})
+}
+
+// scratchBuf boxes a slice so sync.Pool stores a pointer-shaped value.
+type scratchBuf struct{ b []float64 }

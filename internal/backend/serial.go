@@ -1,0 +1,33 @@
+package backend
+
+// Serial executes every kernel inline on the calling goroutine — the
+// original nsbench execution model, byte-for-byte. It is the zero-cost
+// default: a Serial value carries no state beyond the shared scratch pool.
+type Serial struct{}
+
+// serialScratch is shared by all Serial values; Serial{} is a value type
+// so the pool must live at package scope.
+var serialScratch scratchPool
+
+// Name identifies the backend.
+func (Serial) Name() string { return "serial" }
+
+// Workers returns the dispatch width.
+func (Serial) Workers() int { return 1 }
+
+// For runs the whole range as one inline chunk.
+func (Serial) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, n)
+}
+
+// Scratch returns a pooled buffer with at least n elements.
+func (Serial) Scratch(n int) []float64 { return serialScratch.get(n) }
+
+// Release returns a Scratch buffer to the pool.
+func (Serial) Release(buf []float64) { serialScratch.put(buf) }
+
+// Close is a no-op: Serial holds no resources.
+func (Serial) Close() {}

@@ -102,6 +102,9 @@ type Options struct {
 	// ProjectDevices lists devices for Fig. 2b projections; nil means
 	// TX2, Xavier NX, RTX 2080 Ti.
 	ProjectDevices []hwsim.Device
+	// Engine selects the execution backend the characterization run
+	// executes on; the zero value is serial.
+	Engine ops.Config
 }
 
 func (o *Options) defaults() {
@@ -117,7 +120,8 @@ func (o *Options) defaults() {
 // the full report.
 func Characterize(w Workload, opts Options) (*Report, error) {
 	opts.defaults()
-	e := ops.New()
+	e := opts.Engine.New()
+	defer e.Close()
 	if err := w.Run(e); err != nil {
 		return nil, fmt.Errorf("core: running %s: %w", w.Name(), err)
 	}

@@ -83,7 +83,7 @@ func TestAnalyzeEmptyTrace(t *testing.T) {
 }
 
 func TestFig2cScaling(t *testing.T) {
-	rows, err := Fig2c()
+	rows, err := Fig2c(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestFig2cScaling(t *testing.T) {
 }
 
 func TestFig2bOrdering(t *testing.T) {
-	rows, err := Fig2b()
+	rows, err := Fig2b(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestFig2bOrdering(t *testing.T) {
 }
 
 func TestFig5SparsityShape(t *testing.T) {
-	rows, err := Fig5()
+	rows, err := Fig5(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFig5SparsityShape(t *testing.T) {
 }
 
 func TestTab4Shape(t *testing.T) {
-	rows, err := Tab4(hwsim.RTX2080Ti)
+	rows, err := Tab4(hwsim.RTX2080Ti, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

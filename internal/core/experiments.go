@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/neurosym/nsbench/internal/hwsim"
-	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/trace"
 	"github.com/neurosym/nsbench/internal/workloads/nlm"
 	"github.com/neurosym/nsbench/internal/workloads/nvsa"
@@ -14,14 +13,14 @@ import (
 
 // Fig2a runs the seven-workload suite and returns one report per workload,
 // in the paper's order — the end-to-end latency phase-split experiment.
-func Fig2a() ([]*Report, error) {
+func Fig2a(opts Options) ([]*Report, error) {
 	var out []*Report
 	for _, name := range SuiteNames() {
 		w, err := BuildWorkload(name)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Characterize(w, Options{})
+		r, err := Characterize(w, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -44,14 +43,15 @@ type Fig2bRow struct {
 // cross-device latency experiment. Projections share one recorded trace per
 // workload, mirroring the paper's methodology of running the same model on
 // each board.
-func Fig2b() ([]Fig2bRow, error) {
+func Fig2b(opts Options) ([]Fig2bRow, error) {
 	var rows []Fig2bRow
 	for _, name := range []string{"NVSA", "NLM"} {
 		w, err := BuildWorkload(name)
 		if err != nil {
 			return nil, err
 		}
-		e := ops.New()
+		e := opts.Engine.New()
+		defer e.Close()
 		if err := w.Run(e); err != nil {
 			return nil, err
 		}
@@ -91,14 +91,14 @@ type Fig2cRow struct {
 // scalability experiment showing runtime explosion under stable phase
 // split. Each configuration runs three times and the minimum is kept, the
 // standard noise-robust latency estimator.
-func Fig2c() ([]Fig2cRow, error) {
+func Fig2c(opts Options) ([]Fig2cRow, error) {
 	var rows []Fig2cRow
 	var base time.Duration
 	for _, m := range []int{2, 3} {
 		best := Fig2cRow{TaskSize: fmt.Sprintf("%dx%d", m, m)}
 		for rep := 0; rep < 3; rep++ {
-			w := nvsa.New(nvsa.Config{M: m})
-			r, err := Characterize(w, Options{})
+			w := nvsa.New(nvsa.Config{M: m, Engine: opts.Engine})
+			r, err := Characterize(w, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -124,12 +124,12 @@ type Fig5Row struct {
 }
 
 // Fig5 measures the sparsity of NVSA's symbolic stages per rule attribute.
-func Fig5() ([]Fig5Row, error) {
+func Fig5(opts Options) ([]Fig5Row, error) {
 	w, err := BuildWorkload("NVSA")
 	if err != nil {
 		return nil, err
 	}
-	r, err := Characterize(w, Options{})
+	r, err := Characterize(w, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -157,12 +157,13 @@ func Tab4Kernels() []string {
 // its kernel class: the neural sgemm_nn row includes convolutions (lowered
 // to implicit GEMM on the measured GPUs) and dense GEMMs of the perception
 // frontend; the symbolic rows take the backend's element-wise kernels.
-func Tab4(device hwsim.Device) ([]hwsim.KernelStats, error) {
+func Tab4(device hwsim.Device, opts Options) ([]hwsim.KernelStats, error) {
 	w, err := BuildWorkload("NVSA")
 	if err != nil {
 		return nil, err
 	}
-	e := ops.New()
+	e := opts.Engine.New()
+	defer e.Close()
 	if err := w.Run(e); err != nil {
 		return nil, err
 	}
@@ -203,11 +204,11 @@ type ScalabilityRow struct {
 
 // ScalabilitySweep extends Fig. 2c with a hypervector-dimension sweep,
 // quantifying the symbolic scalability bottleneck (Takeaway 2).
-func ScalabilitySweep(dims []int) ([]ScalabilityRow, error) {
+func ScalabilitySweep(dims []int, opts Options) ([]ScalabilityRow, error) {
 	var rows []ScalabilityRow
 	for _, d := range dims {
-		w := nvsa.New(nvsa.Config{Dim: d})
-		r, err := Characterize(w, Options{})
+		w := nvsa.New(nvsa.Config{Dim: d, Engine: opts.Engine})
+		r, err := Characterize(w, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -225,11 +226,11 @@ type NLMScaleRow struct {
 
 // NLMScaleSweep measures NLM latency across universe sizes (the
 // generalization-scalability companion to Fig. 2c).
-func NLMScaleSweep(sizes []int) ([]NLMScaleRow, error) {
+func NLMScaleSweep(sizes []int, opts Options) ([]NLMScaleRow, error) {
 	var rows []NLMScaleRow
 	for _, n := range sizes {
 		w := nlm.New(nlm.Config{Objects: n})
-		r, err := Characterize(w, Options{})
+		r, err := Characterize(w, opts)
 		if err != nil {
 			return nil, err
 		}

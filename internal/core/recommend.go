@@ -7,7 +7,6 @@ import (
 
 	"github.com/neurosym/nsbench/internal/hwsim"
 	"github.com/neurosym/nsbench/internal/noc"
-	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/quant"
 	"github.com/neurosym/nsbench/internal/raven"
 	"github.com/neurosym/nsbench/internal/schedule"
@@ -40,12 +39,13 @@ type Recommendations struct {
 
 // RecommendationAblations runs the ablation suite against a fresh NVSA
 // trace on the given schedule worker counts.
-func RecommendationAblations(units []int) (*Recommendations, error) {
+func RecommendationAblations(units []int, opts Options) (*Recommendations, error) {
 	w, err := BuildWorkload("NVSA")
 	if err != nil {
 		return nil, err
 	}
-	e := ops.New()
+	e := opts.Engine.New()
+	defer e.Close()
 	if err := w.Run(e); err != nil {
 		return nil, err
 	}

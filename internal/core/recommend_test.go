@@ -7,7 +7,7 @@ import (
 )
 
 func TestRecommendationAblations(t *testing.T) {
-	rec, err := RecommendationAblations([]int{1, 4, 16})
+	rec, err := RecommendationAblations([]int{1, 4, 16}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestRecommendationAblations(t *testing.T) {
 }
 
 func TestRenderRecommendations(t *testing.T) {
-	rec, err := RecommendationAblations([]int{1, 2})
+	rec, err := RecommendationAblations([]int{1, 2}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

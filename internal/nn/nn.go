@@ -155,19 +155,21 @@ func (b *BatchNorm2d) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm2d %q expects rank-4 input, got %v", b.Name, x.Shape()))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	// Materialize the broadcast per-channel parameters once.
+	// Materialize the broadcast per-channel parameters once, chunked per
+	// (batch, channel) plane on the engine's backend.
 	scale := tensor.New(n, c, h, w)
 	shift := tensor.New(n, c, h, w)
-	for bi := 0; bi < n; bi++ {
-		for ci := 0; ci < c; ci++ {
-			base := (bi*c + ci) * h * w
-			sv, bv := b.Scale.At(ci), b.Bias.At(ci)
-			for i := 0; i < h*w; i++ {
+	hw := h * w
+	e.Backend().For(n*c, 1, func(lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			base := bc * hw
+			sv, bv := b.Scale.At(bc%c), b.Bias.At(bc%c)
+			for i := 0; i < hw; i++ {
 				scale.Data()[base+i] = sv
 				shift.Data()[base+i] = bv
 			}
 		}
-	}
+	})
 	y := e.Mul(x, scale)
 	return e.Add(y, shift)
 }

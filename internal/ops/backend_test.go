@@ -1,0 +1,115 @@
+package ops
+
+import (
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/backend"
+	"github.com/neurosym/nsbench/internal/tensor"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func TestNewDefaultsToSerialBackend(t *testing.T) {
+	e := New()
+	if got := e.Backend().Name(); got != "serial" {
+		t.Fatalf("default backend is %q, want serial", got)
+	}
+}
+
+func TestWithParallelism(t *testing.T) {
+	e := New(WithParallelism(4))
+	defer e.Close()
+	if e.Backend().Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", e.Backend().Workers())
+	}
+	// One worker is pointless parallelism; the engine keeps serial.
+	if got := New(WithParallelism(1)).Backend().Name(); got != "serial" {
+		t.Fatalf("WithParallelism(1) backend is %q, want serial", got)
+	}
+}
+
+func TestWithBackendShares(t *testing.T) {
+	be := backend.NewParallel(2)
+	defer be.Close()
+	e1, e2 := New(WithBackend(be)), New(WithBackend(be))
+	if e1.Backend() != e2.Backend() {
+		t.Fatal("engines do not share the injected backend")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, name := range []string{"", BackendSerial, BackendParallel} {
+		if err := (Config{Backend: name}).Validate(); err != nil {
+			t.Errorf("Validate(%q): %v", name, err)
+		}
+	}
+	if err := (Config{Backend: "gpu"}).Validate(); err == nil {
+		t.Error("Validate(gpu) accepted an unknown backend")
+	}
+}
+
+func TestConfigFactorySharesBackend(t *testing.T) {
+	newEngine := Config{Backend: BackendParallel, Workers: 2}.Factory()
+	e1, e2 := newEngine(), newEngine()
+	defer e1.Close()
+	if e1.Backend() != e2.Backend() {
+		t.Fatal("factory engines do not share one backend")
+	}
+	if e1.Backend().Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", e1.Backend().Workers())
+	}
+}
+
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	g := tensor.NewRNG(7)
+	a, b := g.Normal(0, 1, 64, 64), g.Normal(0, 1, 64, 64)
+	serial := New().MatMul(a, b)
+	par := New(WithParallelism(4))
+	defer par.Close()
+	got := par.MatMul(a, b)
+	for i, v := range serial.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("element %d: serial %v parallel %v", i, v, got.Data()[i])
+		}
+	}
+}
+
+func TestForkJoinDeterministicOrder(t *testing.T) {
+	e := New()
+	e.SetPhase(trace.Symbolic)
+	e.InStage("fork", func() {
+		kids := e.Fork(3)
+		g := tensor.NewRNG(1)
+		for i, k := range kids {
+			if k.Phase() != trace.Symbolic {
+				t.Fatalf("child %d phase %v, want symbolic", i, k.Phase())
+			}
+			// Each child records a distinguishable op count.
+			for j := 0; j <= i; j++ {
+				k.Add(g.Normal(0, 1, 8), g.Normal(0, 1, 8))
+			}
+		}
+		e.Join(kids...)
+	})
+	tr := e.Trace()
+	if tr.Len() != 6 {
+		t.Fatalf("merged trace has %d events, want 6", tr.Len())
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.Stage != "fork" || ev.Phase != trace.Symbolic {
+			t.Fatalf("event %d lost fork context: stage=%q phase=%v", i, ev.Stage, ev.Phase)
+		}
+	}
+}
+
+func TestOneToleratesEmptyOutputs(t *testing.T) {
+	if got := one(nil); got != nil {
+		t.Fatalf("one(nil) = %v, want nil", got)
+	}
+	if got := one([]*tensor.Tensor{}); got != nil {
+		t.Fatalf("one(empty) = %v, want nil", got)
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 // binary records a two-operand element-wise operator (kernel class
 // "vectorized_elem", matching the NVSA symbolic kernel of Table IV).
-func (e *Engine) binary(name string, a, b *tensor.Tensor, f func(a, b *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+func (e *Engine) binary(name string, a, b *tensor.Tensor, f func(r tensor.Runner, a, b *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
 	return one(e.record(op{
 		name:     name,
 		kernel:   "vectorized_elem",
@@ -15,12 +15,12 @@ func (e *Engine) binary(name string, a, b *tensor.Tensor, f func(a, b *tensor.Te
 		flops:    tensor.FlopsEltwise(a.Size(), 1),
 		bytes:    tensor.BytesEltwiseBinary(a.Size()),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(e.be, a, b)} }))
 }
 
 // unary records a one-operand element-wise operator (kernel class
 // "elementwise").
-func (e *Engine) unary(name string, a *tensor.Tensor, flopsPerElem int, f func(a *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+func (e *Engine) unary(name string, a *tensor.Tensor, flopsPerElem int, f func(r tensor.Runner, a *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
 	return one(e.record(op{
 		name:     name,
 		kernel:   "elementwise",
@@ -28,67 +28,67 @@ func (e *Engine) unary(name string, a *tensor.Tensor, flopsPerElem int, f func(a
 		flops:    tensor.FlopsEltwise(a.Size(), flopsPerElem),
 		bytes:    tensor.BytesEltwiseUnary(a.Size()),
 		inputs:   []*tensor.Tensor{a},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(e.be, a)} }))
 }
 
 // Add records an instrumented element-wise addition.
-func (e *Engine) Add(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Add", a, b, tensor.Add) }
+func (e *Engine) Add(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Add", a, b, tensor.AddOn) }
 
 // Sub records an instrumented element-wise subtraction.
-func (e *Engine) Sub(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Sub", a, b, tensor.Sub) }
+func (e *Engine) Sub(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Sub", a, b, tensor.SubOn) }
 
 // Mul records an instrumented Hadamard product.
-func (e *Engine) Mul(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Mul", a, b, tensor.Mul) }
+func (e *Engine) Mul(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Mul", a, b, tensor.MulOn) }
 
 // Div records an instrumented element-wise division.
-func (e *Engine) Div(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Div", a, b, tensor.Div) }
+func (e *Engine) Div(a, b *tensor.Tensor) *tensor.Tensor { return e.binary("Div", a, b, tensor.DivOn) }
 
 // Minimum records an instrumented element-wise minimum.
 func (e *Engine) Minimum(a, b *tensor.Tensor) *tensor.Tensor {
-	return e.binary("Minimum", a, b, tensor.Minimum)
+	return e.binary("Minimum", a, b, tensor.MinimumOn)
 }
 
 // Maximum records an instrumented element-wise maximum.
 func (e *Engine) Maximum(a, b *tensor.Tensor) *tensor.Tensor {
-	return e.binary("Maximum", a, b, tensor.Maximum)
+	return e.binary("Maximum", a, b, tensor.MaximumOn)
 }
 
 // AddScalar records an instrumented scalar addition.
 func (e *Engine) AddScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
-	return e.unary("AddScalar", a, 1, func(t *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(t, s) })
+	return e.unary("AddScalar", a, 1, func(r tensor.Runner, t *tensor.Tensor) *tensor.Tensor { return tensor.AddScalarOn(r, t, s) })
 }
 
 // MulScalar records an instrumented scalar multiplication.
 func (e *Engine) MulScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
-	return e.unary("MulScalar", a, 1, func(t *tensor.Tensor) *tensor.Tensor { return tensor.MulScalar(t, s) })
+	return e.unary("MulScalar", a, 1, func(r tensor.Runner, t *tensor.Tensor) *tensor.Tensor { return tensor.MulScalarOn(r, t, s) })
 }
 
 // Neg records an instrumented negation.
-func (e *Engine) Neg(a *tensor.Tensor) *tensor.Tensor { return e.unary("Neg", a, 1, tensor.Neg) }
+func (e *Engine) Neg(a *tensor.Tensor) *tensor.Tensor { return e.unary("Neg", a, 1, tensor.NegOn) }
 
 // Abs records an instrumented absolute value.
-func (e *Engine) Abs(a *tensor.Tensor) *tensor.Tensor { return e.unary("Abs", a, 1, tensor.Abs) }
+func (e *Engine) Abs(a *tensor.Tensor) *tensor.Tensor { return e.unary("Abs", a, 1, tensor.AbsOn) }
 
 // Sign records an instrumented sign extraction.
-func (e *Engine) Sign(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sign", a, 1, tensor.Sign) }
+func (e *Engine) Sign(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sign", a, 1, tensor.SignOn) }
 
 // Exp records an instrumented exponential.
-func (e *Engine) Exp(a *tensor.Tensor) *tensor.Tensor { return e.unary("Exp", a, 4, tensor.Exp) }
+func (e *Engine) Exp(a *tensor.Tensor) *tensor.Tensor { return e.unary("Exp", a, 4, tensor.ExpOn) }
 
 // Log records an instrumented natural logarithm.
-func (e *Engine) Log(a *tensor.Tensor) *tensor.Tensor { return e.unary("Log", a, 4, tensor.Log) }
+func (e *Engine) Log(a *tensor.Tensor) *tensor.Tensor { return e.unary("Log", a, 4, tensor.LogOn) }
 
 // Sqrt records an instrumented square root.
-func (e *Engine) Sqrt(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sqrt", a, 2, tensor.Sqrt) }
+func (e *Engine) Sqrt(a *tensor.Tensor) *tensor.Tensor { return e.unary("Sqrt", a, 2, tensor.SqrtOn) }
 
 // Pow records an instrumented power.
 func (e *Engine) Pow(a *tensor.Tensor, p float32) *tensor.Tensor {
-	return e.unary("Pow", a, 8, func(t *tensor.Tensor) *tensor.Tensor { return tensor.Pow(t, p) })
+	return e.unary("Pow", a, 8, func(r tensor.Runner, t *tensor.Tensor) *tensor.Tensor { return tensor.PowOn(r, t, p) })
 }
 
 // Clamp records an instrumented clamp.
 func (e *Engine) Clamp(a *tensor.Tensor, lo, hi float32) *tensor.Tensor {
-	return e.unary("Clamp", a, 2, func(t *tensor.Tensor) *tensor.Tensor { return tensor.Clamp(t, lo, hi) })
+	return e.unary("Clamp", a, 2, func(r tensor.Runner, t *tensor.Tensor) *tensor.Tensor { return tensor.ClampOn(r, t, lo, hi) })
 }
 
 // ReLU records an instrumented rectified linear unit (kernel "relu_nn",
@@ -101,25 +101,25 @@ func (e *Engine) ReLU(a *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsEltwise(a.Size(), 1),
 		bytes:    tensor.BytesEltwiseUnary(a.Size()),
 		inputs:   []*tensor.Tensor{a},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.ReLU(a)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.ReLUOn(e.be, a)} }))
 }
 
 // LeakyReLU records an instrumented leaky ReLU.
 func (e *Engine) LeakyReLU(a *tensor.Tensor, alpha float32) *tensor.Tensor {
-	return e.unary("LeakyReLU", a, 2, func(t *tensor.Tensor) *tensor.Tensor { return tensor.LeakyReLU(t, alpha) })
+	return e.unary("LeakyReLU", a, 2, func(r tensor.Runner, t *tensor.Tensor) *tensor.Tensor { return tensor.LeakyReLUOn(r, t, alpha) })
 }
 
 // Sigmoid records an instrumented sigmoid.
 func (e *Engine) Sigmoid(a *tensor.Tensor) *tensor.Tensor {
-	return e.unary("Sigmoid", a, 5, tensor.Sigmoid)
+	return e.unary("Sigmoid", a, 5, tensor.SigmoidOn)
 }
 
 // Tanh records an instrumented tanh.
-func (e *Engine) Tanh(a *tensor.Tensor) *tensor.Tensor { return e.unary("Tanh", a, 5, tensor.Tanh) }
+func (e *Engine) Tanh(a *tensor.Tensor) *tensor.Tensor { return e.unary("Tanh", a, 5, tensor.TanhOn) }
 
 // Greater records an instrumented element-wise comparison.
 func (e *Engine) Greater(a, b *tensor.Tensor) *tensor.Tensor {
-	return e.binary("Greater", a, b, tensor.Greater)
+	return e.binary("Greater", a, b, tensor.GreaterOn)
 }
 
 // Where records an instrumented conditional select.
@@ -131,7 +131,7 @@ func (e *Engine) Where(cond, a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsEltwise(a.Size(), 1),
 		bytes:    4 * 4 * int64(a.Size()),
 		inputs:   []*tensor.Tensor{cond, a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Where(cond, a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.WhereOn(e.be, cond, a, b)} }))
 }
 
 // Dot records an instrumented inner product and returns it as a scalar tensor.
@@ -167,7 +167,7 @@ func (e *Engine) Softmax(a *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsSoftmax(a.Size()),
 		bytes:    tensor.BytesEltwiseUnary(a.Size()),
 		inputs:   []*tensor.Tensor{a},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Softmax(a)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.SoftmaxOn(e.be, a)} }))
 }
 
 // LogSoftmax records an instrumented log-softmax over the last axis.
@@ -179,45 +179,45 @@ func (e *Engine) LogSoftmax(a *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsSoftmax(a.Size()),
 		bytes:    tensor.BytesEltwiseUnary(a.Size()),
 		inputs:   []*tensor.Tensor{a},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.LogSoftmax(a)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.LogSoftmaxOn(e.be, a)} }))
 }
 
 // Normalize records an instrumented L2 normalization.
 func (e *Engine) Normalize(a *tensor.Tensor) *tensor.Tensor {
-	return e.unary("Normalize", a, 3, tensor.Normalize)
+	return e.unary("Normalize", a, 3, tensor.NormalizeOn)
 }
 
 // NormalizeL1 records an instrumented L1 normalization.
 func (e *Engine) NormalizeL1(a *tensor.Tensor) *tensor.Tensor {
-	return e.unary("NormalizeL1", a, 3, tensor.NormalizeL1)
+	return e.unary("NormalizeL1", a, 3, tensor.NormalizeL1On)
 }
 
 // SumAxis records an instrumented axis reduction.
 func (e *Engine) SumAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("SumAxis", a, axis, tensor.SumAxis)
+	return e.reduce("SumAxis", a, axis, tensor.SumAxisOn)
 }
 
 // MeanAxis records an instrumented mean reduction.
 func (e *Engine) MeanAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("MeanAxis", a, axis, tensor.MeanAxis)
+	return e.reduce("MeanAxis", a, axis, tensor.MeanAxisOn)
 }
 
 // MaxAxis records an instrumented max reduction.
 func (e *Engine) MaxAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("MaxAxis", a, axis, tensor.MaxAxis)
+	return e.reduce("MaxAxis", a, axis, tensor.MaxAxisOn)
 }
 
 // MinAxis records an instrumented min reduction.
 func (e *Engine) MinAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("MinAxis", a, axis, tensor.MinAxis)
+	return e.reduce("MinAxis", a, axis, tensor.MinAxisOn)
 }
 
 // ProdAxis records an instrumented product reduction.
 func (e *Engine) ProdAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("ProdAxis", a, axis, tensor.ProdAxis)
+	return e.reduce("ProdAxis", a, axis, tensor.ProdAxisOn)
 }
 
-func (e *Engine) reduce(name string, a *tensor.Tensor, axis int, f func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
+func (e *Engine) reduce(name string, a *tensor.Tensor, axis int, f func(tensor.Runner, *tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
 	outN := a.Size() / max(a.Dim(axis), 1)
 	return one(e.record(op{
 		name:     name,
@@ -226,10 +226,10 @@ func (e *Engine) reduce(name string, a *tensor.Tensor, axis int, f func(*tensor.
 		flops:    tensor.FlopsReduce(a.Size()),
 		bytes:    tensor.BytesReduce(a.Size(), outN),
 		inputs:   []*tensor.Tensor{a},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(a, axis)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{f(e.be, a, axis)} }))
 }
 
 // ArgMaxAxis records an instrumented arg-max reduction.
 func (e *Engine) ArgMaxAxis(a *tensor.Tensor, axis int) *tensor.Tensor {
-	return e.reduce("ArgMaxAxis", a, axis, tensor.ArgMaxAxis)
+	return e.reduce("ArgMaxAxis", a, axis, tensor.ArgMaxAxisOn)
 }

@@ -12,14 +12,17 @@ package ops
 import (
 	"time"
 
+	"github.com/neurosym/nsbench/internal/backend"
 	"github.com/neurosym/nsbench/internal/tensor"
 	"github.com/neurosym/nsbench/internal/trace"
 )
 
 // Engine executes tensor operations while recording a trace. An Engine is
-// not safe for concurrent use; each workload run owns one engine.
+// not safe for concurrent use; each workload run owns one engine. Use Fork
+// and Join when a workload wants to record events from worker goroutines.
 type Engine struct {
 	tr    *trace.Trace
+	be    backend.Backend
 	phase trace.Phase
 	stage string
 
@@ -31,13 +34,60 @@ type Engine struct {
 }
 
 // New returns an engine recording into a fresh trace, starting in the
-// neural phase.
-func New() *Engine {
-	return &Engine{tr: trace.New(), phase: trace.Neural, sparsityEps: 1e-6}
+// neural phase on the serial backend. Options select a different backend:
+//
+//	ops.New(ops.WithParallelism(4))
+//	ops.New(ops.WithBackend(sharedBackend))
+func New(opts ...Option) *Engine {
+	e := &Engine{tr: trace.New(), be: backend.Serial{}, phase: trace.Neural, sparsityEps: 1e-6}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Trace returns the engine's trace.
 func (e *Engine) Trace() *trace.Trace { return e.tr }
+
+// Backend returns the execution backend the engine dispatches kernels on.
+func (e *Engine) Backend() backend.Backend { return e.be }
+
+// Close releases the engine's backend resources (worker goroutines). Only
+// call it when the engine owns its backend; engines built from a shared
+// Config.Factory backend must leave Close to the owner.
+func (e *Engine) Close() { e.be.Close() }
+
+// Fork returns n child engines that share this engine's backend, phase,
+// stage, and sparsity settings but record into private traces, so worker
+// goroutines can record events without racing on the parent trace. Join the
+// children back in a fixed order to keep the merged trace deterministic.
+func (e *Engine) Fork(n int) []*Engine {
+	kids := make([]*Engine, n)
+	for i := range kids {
+		kids[i] = &Engine{
+			tr:              trace.New(),
+			be:              e.be,
+			phase:           e.phase,
+			stage:           e.stage,
+			measureSparsity: e.measureSparsity,
+			sparsityEps:     e.sparsityEps,
+		}
+	}
+	return kids
+}
+
+// Join appends the children's events to this engine's trace in argument
+// order, renumbering sequence numbers. Passing children in a fixed order
+// (e.g. fork index) makes the merged trace independent of goroutine timing.
+func (e *Engine) Join(kids ...*Engine) {
+	parts := make([]*trace.Trace, len(kids))
+	for i, k := range kids {
+		if k != nil {
+			parts[i] = k.tr
+		}
+	}
+	e.tr.Merge(parts...)
+}
 
 // SetPhase switches the active phase; subsequent events carry it.
 func (e *Engine) SetPhase(p trace.Phase) { e.phase = p }
@@ -54,7 +104,7 @@ func (e *Engine) InPhase(p trace.Phase, f func()) {
 }
 
 // SetStage labels subsequent events with a workload-defined stage name
-// (""" clears it). Stages drive the per-stage sparsity analysis (Fig. 5).
+// ("" clears it). Stages drive the per-stage sparsity analysis (Fig. 5).
 func (e *Engine) SetStage(s string) { e.stage = s }
 
 // InStage runs f with the given stage label, restoring the previous one.
@@ -137,5 +187,11 @@ func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
 	return outs
 }
 
-// one unwraps a single-output record call.
-func one(outs []*tensor.Tensor) *tensor.Tensor { return outs[0] }
+// one unwraps a single-output record call, tolerating operators that
+// produced nothing.
+func one(outs []*tensor.Tensor) *tensor.Tensor {
+	if len(outs) == 0 {
+		return nil
+	}
+	return outs[0]
+}

@@ -15,7 +15,7 @@ func (e *Engine) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsMatMul(m, k, n),
 		bytes:    tensor.BytesMatMul(m, k, n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMul(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulOn(e.be, a, b)} }))
 }
 
 // MatVec records an instrumented GEMV.
@@ -28,7 +28,7 @@ func (e *Engine) MatVec(a, x *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsMatMul(m, k, 1),
 		bytes:    tensor.BytesMatMul(m, k, 1),
 		inputs:   []*tensor.Tensor{a, x},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatVec(a, x)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatVecOn(e.be, a, x)} }))
 }
 
 // BatchMatMul records an instrumented batched GEMM.
@@ -41,7 +41,7 @@ func (e *Engine) BatchMatMul(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    int64(bsz) * tensor.FlopsMatMul(m, k, n),
 		bytes:    int64(bsz) * tensor.BytesMatMul(m, k, n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.BatchMatMul(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.BatchMatMulOn(e.be, a, b)} }))
 }
 
 // Outer records an instrumented outer product.
@@ -54,7 +54,7 @@ func (e *Engine) Outer(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    int64(m) * int64(n),
 		bytes:    4 * (int64(m) + int64(n) + int64(m)*int64(n)),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Outer(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.OuterOn(e.be, a, b)} }))
 }
 
 // Conv2D records an instrumented 2-D convolution.
@@ -70,7 +70,7 @@ func (e *Engine) Conv2D(in, w, bias *tensor.Tensor, stride, pad int) *tensor.Ten
 		flops:    tensor.FlopsConv2D(n, cin, cout, hout, wout, kh, kw),
 		bytes:    tensor.BytesConv2D(n, cin, h, wd, cout, hout, wout, kh, kw),
 		inputs:   []*tensor.Tensor{in, w, bias},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2D(in, w, bias, stride, pad)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2DOn(e.be, in, w, bias, stride, pad)} }))
 }
 
 // MaxPool2D records an instrumented max pooling.
@@ -82,7 +82,7 @@ func (e *Engine) MaxPool2D(in *tensor.Tensor, k, s int) *tensor.Tensor {
 		flops:    int64(in.Size()),
 		bytes:    tensor.BytesEltwiseUnary(in.Size()),
 		inputs:   []*tensor.Tensor{in},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MaxPool2D(in, k, s)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MaxPool2DOn(e.be, in, k, s)} }))
 }
 
 // AvgPool2D records an instrumented average pooling.
@@ -94,7 +94,7 @@ func (e *Engine) AvgPool2D(in *tensor.Tensor, k, s int) *tensor.Tensor {
 		flops:    int64(in.Size()),
 		bytes:    tensor.BytesEltwiseUnary(in.Size()),
 		inputs:   []*tensor.Tensor{in},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.AvgPool2D(in, k, s)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.AvgPool2DOn(e.be, in, k, s)} }))
 }
 
 // GlobalAvgPool2D records an instrumented global average pooling.
@@ -106,5 +106,5 @@ func (e *Engine) GlobalAvgPool2D(in *tensor.Tensor) *tensor.Tensor {
 		flops:    int64(in.Size()),
 		bytes:    tensor.BytesEltwiseUnary(in.Size()),
 		inputs:   []*tensor.Tensor{in},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.GlobalAvgPool2D(in)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.GlobalAvgPool2DOn(e.be, in)} }))
 }

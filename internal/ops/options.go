@@ -1,0 +1,78 @@
+package ops
+
+import (
+	"fmt"
+
+	"github.com/neurosym/nsbench/internal/backend"
+)
+
+// Backend names accepted by Config and the CLI -backend flag.
+const (
+	BackendSerial   = "serial"
+	BackendParallel = "parallel"
+)
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithBackend runs the engine's kernels on b. Passing nil keeps the
+// default serial backend.
+func WithBackend(b backend.Backend) Option {
+	return func(e *Engine) {
+		if b != nil {
+			e.be = b
+		}
+	}
+}
+
+// WithParallelism selects a parallel backend with n workers (n < 1 selects
+// GOMAXPROCS). n == 1 keeps the serial backend: one worker cannot beat
+// running inline.
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n == 1 {
+			e.be = backend.Serial{}
+			return
+		}
+		e.be = backend.NewParallel(n)
+	}
+}
+
+// Config names an execution backend in the plain-data form carried by
+// workload configs and CLI flags. The zero value selects the serial
+// backend.
+type Config struct {
+	Backend string // "serial" (default) or "parallel"
+	Workers int    // parallel worker count; <1 selects GOMAXPROCS
+}
+
+// Validate reports whether the backend name is known.
+func (c Config) Validate() error {
+	switch c.Backend {
+	case "", BackendSerial, BackendParallel:
+		return nil
+	}
+	return fmt.Errorf("ops: unknown backend %q (want %q or %q)", c.Backend, BackendSerial, BackendParallel)
+}
+
+// New builds an engine on a backend of its own.
+func (c Config) New() *Engine { return New(WithBackend(c.build())) }
+
+// Factory returns an engine constructor that shares one backend — and so
+// one worker pool and one scratch pool — across every engine it creates.
+// Workloads that build a fresh engine per run (accuracy loops, sweeps) use
+// this to avoid spawning a pool per iteration.
+func (c Config) Factory() func() *Engine {
+	b := c.build()
+	return func() *Engine { return New(WithBackend(b)) }
+}
+
+func (c Config) build() backend.Backend {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if c.Backend == BackendParallel && c.Workers != 1 {
+		return backend.NewParallel(c.Workers)
+	}
+	return backend.Serial{}
+}

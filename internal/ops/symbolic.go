@@ -20,7 +20,7 @@ func (e *Engine) CircularConv(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    flops,
 		bytes:    tensor.BytesCircularConv(n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.CircularConv(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.CircularConvOn(e.be, a, b)} }))
 }
 
 // CircularCorr records an instrumented circular correlation — the VSA
@@ -34,7 +34,7 @@ func (e *Engine) CircularCorr(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsCircularConvDirect(n),
 		bytes:    tensor.BytesCircularConv(n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.CircularCorr(a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.CircularCorrOn(e.be, a, b)} }))
 }
 
 // Roll records an instrumented circular shift — the VSA permutation

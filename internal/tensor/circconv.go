@@ -13,73 +13,122 @@ import (
 // representations (HRR) and the core vector-symbolic primitive of NVSA and
 // PrAE. For n ≥ fftThreshold the FFT path (O(n log n)) is used; below it
 // the direct O(n²) kernel wins.
-func CircularConv(a, b *Tensor) *Tensor {
+func CircularConv(a, b *Tensor) *Tensor { return CircularConvOn(Serial, a, b) }
+
+// CircularConvOn is CircularConv dispatched on r. The direct path chunks
+// over output indices; the FFT path runs the two forward transforms
+// concurrently on runner scratch buffers and chunks the pointwise multiply.
+func CircularConvOn(r Runner, a, b *Tensor) *Tensor {
 	if a.Rank() != 1 || b.Rank() != 1 || a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: CircularConv needs equal-length vectors, got %v and %v", a.shape, b.shape))
 	}
 	n := a.shape[0]
 	if n >= fftThreshold && n&(n-1) == 0 {
-		return circularConvFFT(a, b)
+		return circularConvFFT(r, a, b)
 	}
-	return circularConvDirect(a, b)
+	return circularConvDirect(r, a, b)
 }
 
 // fftThreshold is the vector length above which the FFT path is preferred
 // for power-of-two sizes.
 const fftThreshold = 64
 
-func circularConvDirect(a, b *Tensor) *Tensor {
+func circularConvDirect(r Runner, a, b *Tensor) *Tensor {
 	n := a.shape[0]
 	out := New(n)
-	for k := 0; k < n; k++ {
-		var s float64
-		for i := 0; i < n; i++ {
-			j := k - i
-			if j < 0 {
-				j += n
+	r.For(n, grainFor(2*int64(n)), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				j := k - i
+				if j < 0 {
+					j += n
+				}
+				s += float64(a.data[i]) * float64(b.data[j])
 			}
-			s += float64(a.data[i]) * float64(b.data[j])
+			out.data[k] = float32(s)
 		}
-		out.data[k] = float32(s)
-	}
+	})
 	return out
 }
 
 // CircularCorr returns the circular correlation of a and b:
 // out[k] = Σ_i a[i] * b[(k+i) mod n]. It is the approximate inverse
 // (unbinding) of CircularConv for unit-norm random vectors.
-func CircularCorr(a, b *Tensor) *Tensor {
+func CircularCorr(a, b *Tensor) *Tensor { return CircularCorrOn(Serial, a, b) }
+
+// CircularCorrOn is CircularCorr dispatched on r, chunked over output
+// indices.
+func CircularCorrOn(r Runner, a, b *Tensor) *Tensor {
 	if a.Rank() != 1 || b.Rank() != 1 || a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: CircularCorr needs equal-length vectors, got %v and %v", a.shape, b.shape))
 	}
 	n := a.shape[0]
 	out := New(n)
-	for k := 0; k < n; k++ {
-		var s float64
-		for i := 0; i < n; i++ {
-			s += float64(a.data[i]) * float64(b.data[(k+i)%n])
+	r.For(n, grainFor(2*int64(n)), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += float64(a.data[i]) * float64(b.data[(k+i)%n])
+			}
+			out.data[k] = float32(s)
 		}
-		out.data[k] = float32(s)
+	})
+	return out
+}
+
+func circularConvFFT(r Runner, a, b *Tensor) *Tensor {
+	n := a.shape[0]
+	buf := r.Scratch(4 * n)
+	defer r.Release(buf)
+	ar, ai := buf[0:n], buf[n:2*n]
+	br, bi := buf[2*n:3*n], buf[3*n:4*n]
+	// The two forward transforms touch disjoint buffers, so they can run as
+	// two chunks; each transform itself is deterministic regardless.
+	r.For(2, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if c == 0 {
+				fillComplex(ar, ai, a.data)
+				fftInPlace(ar, ai, false)
+			} else {
+				fillComplex(br, bi, b.data)
+				fftInPlace(br, bi, false)
+			}
+		}
+	})
+	// Pointwise complex multiply.
+	r.For(n, grainEltwise, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			re := ar[i]*br[i] - ai[i]*bi[i]
+			im := ar[i]*bi[i] + ai[i]*br[i]
+			ar[i], ai[i] = re, im
+		}
+	})
+	fftInPlace(ar, ai, true)
+	out := New(n)
+	for i := 0; i < n; i++ {
+		out.data[i] = float32(ar[i])
 	}
 	return out
 }
 
-func circularConvFFT(a, b *Tensor) *Tensor {
-	n := a.shape[0]
-	ar, ai := fft(toComplex(a.data), false)
-	br, bi := fft(toComplex(b.data), false)
-	// Pointwise complex multiply.
-	for i := 0; i < n; i++ {
-		re := ar[i]*br[i] - ai[i]*bi[i]
-		im := ar[i]*bi[i] + ai[i]*br[i]
-		ar[i], ai[i] = re, im
+// fillComplex loads a float32 vector into a real/imaginary float64 pair,
+// zeroing the imaginary part.
+func fillComplex(re, im []float64, x []float32) {
+	for i, v := range x {
+		re[i] = float64(v)
+		im[i] = 0
 	}
-	rr, _ := fft(complexPair{ar, ai}, true)
-	out := New(n)
-	for i := 0; i < n; i++ {
-		out.data[i] = float32(rr[i])
-	}
-	return out
+}
+
+// fft computes the radix-2 Cooley-Tukey FFT (or inverse when inv is true)
+// of a power-of-two-length complex sequence without mutating its input. The
+// inverse includes the 1/n scaling.
+func fft(x complexPair, inv bool) ([]float64, []float64) {
+	re := append([]float64(nil), x.re...)
+	im := append([]float64(nil), x.im...)
+	fftInPlace(re, im, inv)
+	return re, im
 }
 
 type complexPair struct{ re, im []float64 }
@@ -92,16 +141,14 @@ func toComplex(x []float32) complexPair {
 	return complexPair{re: re, im: make([]float64, len(x))}
 }
 
-// fft computes the in-place iterative radix-2 Cooley-Tukey FFT (or inverse
-// when inv is true) of a power-of-two-length complex sequence. The inverse
-// includes the 1/n scaling.
-func fft(x complexPair, inv bool) ([]float64, []float64) {
-	n := len(x.re)
+// fftInPlace runs the in-place iterative radix-2 Cooley-Tukey FFT (or
+// inverse when inv is true) on a power-of-two-length complex sequence held
+// as separate real/imaginary slices.
+func fftInPlace(re, im []float64, inv bool) {
+	n := len(re)
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("tensor: fft length %d is not a power of two", n))
 	}
-	re := append([]float64(nil), x.re...)
-	im := append([]float64(nil), x.im...)
 	// Bit-reversal permutation.
 	shift := bits.LeadingZeros32(uint32(n)) + 1
 	for i := 0; i < n; i++ {
@@ -137,7 +184,6 @@ func fft(x complexPair, inv bool) ([]float64, []float64) {
 			im[i] *= s
 		}
 	}
-	return re, im
 }
 
 // FFTMagnitude returns the magnitude spectrum of a power-of-two-length

@@ -11,6 +11,13 @@ import "fmt"
 // workload sizes used in the characterization study and keeps the byte/FLOP
 // accounting transparent.
 func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	return Conv2DOn(Serial, input, weight, bias, stride, pad)
+}
+
+// Conv2DOn is Conv2D dispatched on r, chunked over (batch, output channel)
+// planes. Each output plane is accumulated exactly as in the serial loop,
+// so results are bit-identical for every runner.
+func Conv2DOn(r Runner, input, weight, bias *Tensor, stride, pad int) *Tensor {
 	if input.Rank() != 4 || weight.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D needs rank-4 input and weight, got %v, %v", input.shape, weight.shape))
 	}
@@ -34,8 +41,10 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	in := input.data
 	wd := weight.data
 	od := out.data
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
+	perPlane := 2 * int64(cin) * int64(kh) * int64(kw) * int64(hout) * int64(wout)
+	r.For(n*cout, grainFor(perPlane), func(lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			b, oc := bc/cout, bc%cout
 			var bv float32
 			if bias != nil {
 				bv = bias.data[oc]
@@ -68,13 +77,16 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // MaxPool2D applies 2-D max pooling with a k×k window and stride s to an
 // N×C×H×W tensor.
-func MaxPool2D(input *Tensor, k, s int) *Tensor {
+func MaxPool2D(input *Tensor, k, s int) *Tensor { return MaxPool2DOn(Serial, input, k, s) }
+
+// MaxPool2DOn is MaxPool2D dispatched on r, chunked over (batch, channel).
+func MaxPool2DOn(r Runner, input *Tensor, k, s int) *Tensor {
 	if input.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: MaxPool2D needs rank-4 input, got %v", input.shape))
 	}
@@ -86,9 +98,10 @@ func MaxPool2D(input *Tensor, k, s int) *Tensor {
 	}
 	out := New(n, c, hout, wout)
 	in := input.data
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * h * w
+	perPlane := int64(k) * int64(k) * int64(hout) * int64(wout)
+	r.For(n*c, grainFor(perPlane), func(lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			base := bc * h * w
 			for oy := 0; oy < hout; oy++ {
 				for ox := 0; ox < wout; ox++ {
 					m := in[base+(oy*s)*w+ox*s]
@@ -100,16 +113,19 @@ func MaxPool2D(input *Tensor, k, s int) *Tensor {
 							}
 						}
 					}
-					out.data[((b*c+ch)*hout+oy)*wout+ox] = m
+					out.data[(bc*hout+oy)*wout+ox] = m
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // AvgPool2D applies 2-D average pooling with a k×k window and stride s.
-func AvgPool2D(input *Tensor, k, s int) *Tensor {
+func AvgPool2D(input *Tensor, k, s int) *Tensor { return AvgPool2DOn(Serial, input, k, s) }
+
+// AvgPool2DOn is AvgPool2D dispatched on r, chunked over (batch, channel).
+func AvgPool2DOn(r Runner, input *Tensor, k, s int) *Tensor {
 	if input.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: AvgPool2D needs rank-4 input, got %v", input.shape))
 	}
@@ -122,9 +138,10 @@ func AvgPool2D(input *Tensor, k, s int) *Tensor {
 	out := New(n, c, hout, wout)
 	in := input.data
 	inv := 1 / float32(k*k)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * h * w
+	perPlane := int64(k) * int64(k) * int64(hout) * int64(wout)
+	r.For(n*c, grainFor(perPlane), func(lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			base := bc * h * w
 			for oy := 0; oy < hout; oy++ {
 				for ox := 0; ox < wout; ox++ {
 					var s64 float64
@@ -134,31 +151,35 @@ func AvgPool2D(input *Tensor, k, s int) *Tensor {
 							s64 += float64(in[row+ox*s+kx])
 						}
 					}
-					out.data[((b*c+ch)*hout+oy)*wout+ox] = float32(s64) * inv
+					out.data[(bc*hout+oy)*wout+ox] = float32(s64) * inv
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // GlobalAvgPool2D reduces an N×C×H×W tensor to N×C by averaging each channel.
-func GlobalAvgPool2D(input *Tensor) *Tensor {
+func GlobalAvgPool2D(input *Tensor) *Tensor { return GlobalAvgPool2DOn(Serial, input) }
+
+// GlobalAvgPool2DOn is GlobalAvgPool2D dispatched on r, chunked over
+// (batch, channel).
+func GlobalAvgPool2DOn(r Runner, input *Tensor) *Tensor {
 	if input.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: GlobalAvgPool2D needs rank-4 input, got %v", input.shape))
 	}
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	out := New(n, c)
 	hw := h * w
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * hw
+	r.For(n*c, grainFor(int64(hw)), func(lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			base := bc * hw
 			var s float64
 			for i := 0; i < hw; i++ {
 				s += float64(input.data[base+i])
 			}
-			out.data[b*c+ch] = float32(s / float64(hw))
+			out.data[bc] = float32(s / float64(hw))
 		}
-	}
+	})
 	return out
 }

@@ -3,10 +3,13 @@ package tensor
 import "fmt"
 
 // MatMul returns the matrix product of a (m×k) and b (k×n) as an m×n tensor.
-// The kernel is blocked over k with an i-k-j loop order so the inner loop
-// streams both b and the output row, which is the cache-friendly layout for
-// row-major data.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul(a, b *Tensor) *Tensor { return MatMulOn(Serial, a, b) }
+
+// MatMulOn is MatMul dispatched on r, chunked over output rows. Each row is
+// accumulated in the same i-k-j order as the serial kernel (the inner loop
+// streams both b and the output row, the cache-friendly layout for
+// row-major data), so results are bit-identical for every runner.
+func MatMulOn(r Runner, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.shape, b.shape))
 	}
@@ -17,7 +20,15 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+	r.For(m, grainFor(2*int64(k)*int64(n)), func(lo, hi int) {
+		matMulRows(ad, bd, od, k, n, lo, hi)
+	})
+	return out
+}
+
+// matMulRows computes output rows [lo, hi) of an m×k · k×n product.
+func matMulRows(ad, bd, od []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
@@ -31,11 +42,13 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatVec returns the matrix-vector product of a (m×k) and x (k) as a length-m vector.
-func MatVec(a, x *Tensor) *Tensor {
+func MatVec(a, x *Tensor) *Tensor { return MatVecOn(Serial, a, x) }
+
+// MatVecOn is MatVec dispatched on r, chunked over output elements.
+func MatVecOn(r Runner, a, x *Tensor) *Tensor {
 	if a.Rank() != 2 || x.Rank() != 1 {
 		panic(fmt.Sprintf("tensor: MatVec needs (2,1)-rank operands, got %v x %v", a.shape, x.shape))
 	}
@@ -45,19 +58,24 @@ func MatVec(a, x *Tensor) *Tensor {
 	}
 	out := New(m)
 	ad, xd := a.data, x.data
-	for i := 0; i < m; i++ {
-		var s float64
-		row := ad[i*k : (i+1)*k]
-		for p, v := range row {
-			s += float64(v) * float64(xd[p])
+	r.For(m, grainFor(2*int64(k)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			row := ad[i*k : (i+1)*k]
+			for p, v := range row {
+				s += float64(v) * float64(xd[p])
+			}
+			out.data[i] = float32(s)
 		}
-		out.data[i] = float32(s)
-	}
+	})
 	return out
 }
 
 // BatchMatMul multiplies two rank-3 tensors batch-wise: (B×m×k)·(B×k×n) → B×m×n.
-func BatchMatMul(a, b *Tensor) *Tensor {
+func BatchMatMul(a, b *Tensor) *Tensor { return BatchMatMulOn(Serial, a, b) }
+
+// BatchMatMulOn is BatchMatMul dispatched on r, chunked over the batch.
+func BatchMatMulOn(r Runner, a, b *Tensor) *Tensor {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: BatchMatMul needs rank-3 operands, got %v x %v", a.shape, b.shape))
 	}
@@ -70,28 +88,32 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[2]
 	out := New(bsz, m, n)
-	for i := 0; i < bsz; i++ {
-		am := FromSlice(a.data[i*m*k:(i+1)*m*k], m, k)
-		bm := FromSlice(b.data[i*k*n:(i+1)*k*n], k, n)
-		r := MatMul(am, bm)
-		copy(out.data[i*m*n:(i+1)*m*n], r.data)
-	}
+	r.For(bsz, grainFor(2*int64(m)*int64(k)*int64(n)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			matMulRows(a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], out.data[i*m*n:(i+1)*m*n], k, n, 0, m)
+		}
+	})
 	return out
 }
 
 // Outer returns the outer product of vectors a (m) and b (n) as an m×n matrix.
-func Outer(a, b *Tensor) *Tensor {
+func Outer(a, b *Tensor) *Tensor { return OuterOn(Serial, a, b) }
+
+// OuterOn is Outer dispatched on r, chunked over output rows.
+func OuterOn(r Runner, a, b *Tensor) *Tensor {
 	if a.Rank() != 1 || b.Rank() != 1 {
 		panic(fmt.Sprintf("tensor: Outer needs rank-1 operands, got %v x %v", a.shape, b.shape))
 	}
 	m, n := a.shape[0], b.shape[0]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		av := a.data[i]
-		row := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			row[j] = av * b.data[j]
+	r.For(m, grainFor(int64(n)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			av := a.data[i]
+			row := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] = av * b.data[j]
+			}
 		}
-	}
+	})
 	return out
 }

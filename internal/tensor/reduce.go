@@ -5,10 +5,12 @@ import (
 	"math"
 )
 
-// reduceAxis applies a reduction along axis of a, producing a tensor with
-// that axis removed. init seeds the accumulator, step folds, finish maps the
-// accumulator and reduced length to the output value.
-func reduceAxis(a *Tensor, axis int, init float64, step func(acc float64, v float32) float64, finish func(acc float64, n int) float32) *Tensor {
+// reduceAxisOn applies a reduction along axis of a, producing a tensor with
+// that axis removed, chunked on r over the output elements. Each output
+// keeps its own accumulator folded in serial axis order, so chunking never
+// reorders float operations. init seeds the accumulator, step folds, finish
+// maps the accumulator and reduced length to the output value.
+func reduceAxisOn(r Runner, a *Tensor, axis int, init float64, step func(acc float64, v float32) float64, finish func(acc float64, n int) float32) *Tensor {
 	if axis < 0 || axis >= a.Rank() {
 		panic(fmt.Sprintf("tensor: reduce axis %d out of range for shape %v", axis, a.shape))
 	}
@@ -26,52 +28,65 @@ func reduceAxis(a *Tensor, axis int, init float64, step func(acc float64, v floa
 		inner *= a.shape[i]
 	}
 	n := a.shape[axis]
-	for o := 0; o < outer; o++ {
-		for in := 0; in < inner; in++ {
+	r.For(outer*inner, grainFor(int64(n)), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			o, in := idx/inner, idx%inner
 			acc := init
 			base := o*n*inner + in
 			for k := 0; k < n; k++ {
 				acc = step(acc, a.data[base+k*inner])
 			}
-			out.data[o*inner+in] = finish(acc, n)
+			out.data[idx] = finish(acc, n)
 		}
-	}
+	})
 	return out
 }
 
+func sumStep(acc float64, v float32) float64  { return acc + float64(v) }
+func maxStep(acc float64, v float32) float64  { return math.Max(acc, float64(v)) }
+func minStep(acc float64, v float32) float64  { return math.Min(acc, float64(v)) }
+func prodStep(acc float64, v float32) float64 { return acc * float64(v) }
+func idFinish(acc float64, _ int) float32     { return float32(acc) }
+func meanFinish(acc float64, n int) float32   { return float32(acc / float64(n)) }
+
 // SumAxis sums along the given axis, removing it.
-func SumAxis(a *Tensor, axis int) *Tensor {
-	return reduceAxis(a, axis, 0,
-		func(acc float64, v float32) float64 { return acc + float64(v) },
-		func(acc float64, _ int) float32 { return float32(acc) })
+func SumAxis(a *Tensor, axis int) *Tensor { return SumAxisOn(Serial, a, axis) }
+
+// SumAxisOn is SumAxis dispatched on r.
+func SumAxisOn(r Runner, a *Tensor, axis int) *Tensor {
+	return reduceAxisOn(r, a, axis, 0, sumStep, idFinish)
 }
 
 // MeanAxis averages along the given axis, removing it.
-func MeanAxis(a *Tensor, axis int) *Tensor {
-	return reduceAxis(a, axis, 0,
-		func(acc float64, v float32) float64 { return acc + float64(v) },
-		func(acc float64, n int) float32 { return float32(acc / float64(n)) })
+func MeanAxis(a *Tensor, axis int) *Tensor { return MeanAxisOn(Serial, a, axis) }
+
+// MeanAxisOn is MeanAxis dispatched on r.
+func MeanAxisOn(r Runner, a *Tensor, axis int) *Tensor {
+	return reduceAxisOn(r, a, axis, 0, sumStep, meanFinish)
 }
 
 // MaxAxis takes the maximum along the given axis, removing it.
-func MaxAxis(a *Tensor, axis int) *Tensor {
-	return reduceAxis(a, axis, math.Inf(-1),
-		func(acc float64, v float32) float64 { return math.Max(acc, float64(v)) },
-		func(acc float64, _ int) float32 { return float32(acc) })
+func MaxAxis(a *Tensor, axis int) *Tensor { return MaxAxisOn(Serial, a, axis) }
+
+// MaxAxisOn is MaxAxis dispatched on r.
+func MaxAxisOn(r Runner, a *Tensor, axis int) *Tensor {
+	return reduceAxisOn(r, a, axis, math.Inf(-1), maxStep, idFinish)
 }
 
 // MinAxis takes the minimum along the given axis, removing it.
-func MinAxis(a *Tensor, axis int) *Tensor {
-	return reduceAxis(a, axis, math.Inf(1),
-		func(acc float64, v float32) float64 { return math.Min(acc, float64(v)) },
-		func(acc float64, _ int) float32 { return float32(acc) })
+func MinAxis(a *Tensor, axis int) *Tensor { return MinAxisOn(Serial, a, axis) }
+
+// MinAxisOn is MinAxis dispatched on r.
+func MinAxisOn(r Runner, a *Tensor, axis int) *Tensor {
+	return reduceAxisOn(r, a, axis, math.Inf(1), minStep, idFinish)
 }
 
 // ProdAxis multiplies along the given axis, removing it.
-func ProdAxis(a *Tensor, axis int) *Tensor {
-	return reduceAxis(a, axis, 1,
-		func(acc float64, v float32) float64 { return acc * float64(v) },
-		func(acc float64, _ int) float32 { return float32(acc) })
+func ProdAxis(a *Tensor, axis int) *Tensor { return ProdAxisOn(Serial, a, axis) }
+
+// ProdAxisOn is ProdAxis dispatched on r.
+func ProdAxisOn(r Runner, a *Tensor, axis int) *Tensor {
+	return reduceAxisOn(r, a, axis, 1, prodStep, idFinish)
 }
 
 // ArgMax returns the index of the largest element of a flat tensor.
@@ -90,7 +105,10 @@ func ArgMax(a *Tensor) int {
 
 // ArgMaxAxis returns, for each slice along axis, the index of its maximum.
 // The result has the reduced shape and holds indices as float32.
-func ArgMaxAxis(a *Tensor, axis int) *Tensor {
+func ArgMaxAxis(a *Tensor, axis int) *Tensor { return ArgMaxAxisOn(Serial, a, axis) }
+
+// ArgMaxAxisOn is ArgMaxAxis dispatched on r, chunked over output elements.
+func ArgMaxAxisOn(r Runner, a *Tensor, axis int) *Tensor {
 	if axis < 0 || axis >= a.Rank() {
 		panic(fmt.Sprintf("tensor: ArgMaxAxis axis %d out of range for shape %v", axis, a.shape))
 	}
@@ -106,8 +124,9 @@ func ArgMaxAxis(a *Tensor, axis int) *Tensor {
 		inner *= a.shape[i]
 	}
 	n := a.shape[axis]
-	for o := 0; o < outer; o++ {
-		for in := 0; in < inner; in++ {
+	r.For(outer*inner, grainFor(int64(n)), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			o, in := idx/inner, idx%inner
 			base := o*n*inner + in
 			best, bi := a.data[base], 0
 			for k := 1; k < n; k++ {
@@ -115,85 +134,105 @@ func ArgMaxAxis(a *Tensor, axis int) *Tensor {
 					best, bi = v, k
 				}
 			}
-			out.data[o*inner+in] = float32(bi)
+			out.data[idx] = float32(bi)
 		}
-	}
+	})
 	return out
 }
 
 // Softmax returns the softmax over the last axis of a, computed with the
 // max-subtraction trick for numerical stability.
-func Softmax(a *Tensor) *Tensor {
+func Softmax(a *Tensor) *Tensor { return SoftmaxOn(Serial, a) }
+
+// SoftmaxOn is Softmax dispatched on r, chunked over rows. Each row's
+// max/sum/scale passes stay in serial order within a single chunk.
+func SoftmaxOn(r Runner, a *Tensor) *Tensor {
 	if a.Rank() == 0 {
 		return Ones()
 	}
 	n := a.shape[a.Rank()-1]
 	rows := a.Size() / n
 	out := New(a.shape...)
-	for r := 0; r < rows; r++ {
-		row := a.data[r*n : (r+1)*n]
-		orow := out.data[r*n : (r+1)*n]
-		m := row[0]
-		for _, v := range row[1:] {
-			if v > m {
-				m = v
+	r.For(rows, grainFor(4*int64(n)), func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := a.data[ri*n : (ri+1)*n]
+			orow := out.data[ri*n : (ri+1)*n]
+			m := row[0]
+			for _, v := range row[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for i, v := range row {
+				e := math.Exp(float64(v - m))
+				orow[i] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for i := range orow {
+				orow[i] *= inv
 			}
 		}
-		var sum float64
-		for i, v := range row {
-			e := math.Exp(float64(v - m))
-			orow[i] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for i := range orow {
-			orow[i] *= inv
-		}
-	}
+	})
 	return out
 }
 
 // LogSoftmax returns log(softmax(a)) over the last axis, computed stably.
-func LogSoftmax(a *Tensor) *Tensor {
+func LogSoftmax(a *Tensor) *Tensor { return LogSoftmaxOn(Serial, a) }
+
+// LogSoftmaxOn is LogSoftmax dispatched on r, chunked over rows.
+func LogSoftmaxOn(r Runner, a *Tensor) *Tensor {
 	if a.Rank() == 0 {
 		return Zeros()
 	}
 	n := a.shape[a.Rank()-1]
 	rows := a.Size() / n
 	out := New(a.shape...)
-	for r := 0; r < rows; r++ {
-		row := a.data[r*n : (r+1)*n]
-		orow := out.data[r*n : (r+1)*n]
-		m := row[0]
-		for _, v := range row[1:] {
-			if v > m {
-				m = v
+	r.For(rows, grainFor(4*int64(n)), func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := a.data[ri*n : (ri+1)*n]
+			orow := out.data[ri*n : (ri+1)*n]
+			m := row[0]
+			for _, v := range row[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - m))
+			}
+			lse := float32(math.Log(sum)) + m
+			for i, v := range row {
+				orow[i] = v - lse
 			}
 		}
-		var sum float64
-		for _, v := range row {
-			sum += math.Exp(float64(v - m))
-		}
-		lse := float32(math.Log(sum)) + m
-		for i, v := range row {
-			orow[i] = v - lse
-		}
-	}
+	})
 	return out
 }
 
 // Normalize scales a flat tensor to unit L2 norm; zero tensors are returned unchanged.
-func Normalize(a *Tensor) *Tensor {
+func Normalize(a *Tensor) *Tensor { return NormalizeOn(Serial, a) }
+
+// NormalizeOn is Normalize dispatched on r. The norm itself is a
+// single-accumulator reduction and stays serial (see Dot); only the scale
+// pass is chunked.
+func NormalizeOn(r Runner, a *Tensor) *Tensor {
 	n := a.Norm()
 	if n == 0 {
 		return a.Clone()
 	}
-	return MulScalar(a, 1/n)
+	return MulScalarOn(r, a, 1/n)
 }
 
 // NormalizeL1 scales a to unit L1 mass (useful for probability vectors);
 // zero tensors are returned unchanged.
-func NormalizeL1(a *Tensor) *Tensor {
+func NormalizeL1(a *Tensor) *Tensor { return NormalizeL1On(Serial, a) }
+
+// NormalizeL1On is NormalizeL1 dispatched on r; like NormalizeOn, the mass
+// accumulation stays serial and only the scale pass is chunked.
+func NormalizeL1On(r Runner, a *Tensor) *Tensor {
 	var s float64
 	for _, v := range a.data {
 		s += math.Abs(float64(v))
@@ -201,7 +240,7 @@ func NormalizeL1(a *Tensor) *Tensor {
 	if s == 0 {
 		return a.Clone()
 	}
-	return MulScalar(a, float32(1/s))
+	return MulScalarOn(r, a, float32(1/s))
 }
 
 // TopK returns the indices of the k largest elements of a flat tensor in

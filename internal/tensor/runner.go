@@ -1,0 +1,58 @@
+package tensor
+
+// Runner is the execution strategy injected into the chunked kernels. It
+// is the tensor-level view of an execution backend (internal/backend
+// satisfies it structurally): a parallel-for over a chunked iteration
+// space plus a scratch-buffer pool.
+//
+// Kernels chunk their output space, so each output element is produced by
+// exactly one chunk with the same inner arithmetic order as the serial
+// loop — results are bit-identical no matter how For schedules chunks.
+type Runner interface {
+	// For partitions [0, n) into deterministic contiguous chunks of at
+	// least grain iterations and calls fn once per chunk, possibly
+	// concurrently, returning after all chunks complete. Boundaries must
+	// depend only on n, grain, and the runner's width — never on timing.
+	For(n, grain int, fn func(lo, hi int))
+	// Scratch returns a float64 buffer with at least n usable elements.
+	Scratch(n int) []float64
+	// Release returns a buffer obtained from Scratch.
+	Release(buf []float64)
+}
+
+// serialRunner is the inline, allocation-only Runner: the plain kernel
+// entry points (MatMul, Conv2D, ...) delegate to their chunked variants
+// through it, keeping a single implementation per kernel.
+type serialRunner struct{}
+
+func (serialRunner) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, n)
+}
+
+func (serialRunner) Scratch(n int) []float64 { return make([]float64, n) }
+
+func (serialRunner) Release([]float64) {}
+
+// Serial is the default inline Runner.
+var Serial Runner = serialRunner{}
+
+// minChunkFlops is the floor of useful work per chunk: below it, goroutine
+// dispatch overhead dominates and kernels stay single-chunk.
+const minChunkFlops = 32 * 1024
+
+// grainFor converts a per-iteration flop estimate into a chunk grain:
+// the minimum iterations per chunk that keep each chunk above
+// minChunkFlops of work.
+func grainFor(perItemFlops int64) int {
+	if perItemFlops <= 0 {
+		perItemFlops = 1
+	}
+	g := int64(minChunkFlops) / perItemFlops
+	if g < 1 {
+		return 1
+	}
+	return int(g)
+}

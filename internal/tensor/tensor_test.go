@@ -543,8 +543,8 @@ func TestCircularConvFFTMatchesDirect(t *testing.T) {
 	n := 256 // power of two, above fftThreshold
 	a := g.Normal(0, 1, n)
 	b := g.Normal(0, 1, n)
-	direct := circularConvDirect(a, b)
-	viaFFT := circularConvFFT(a, b)
+	direct := circularConvDirect(Serial, a, b)
+	viaFFT := circularConvFFT(Serial, a, b)
 	for i := 0; i < n; i++ {
 		if !almostEq(direct.Data()[i], viaFFT.Data()[i], 1e-3) {
 			t.Fatalf("FFT path diverges at %d: %v vs %v", i, direct.Data()[i], viaFFT.Data()[i])

@@ -1,0 +1,44 @@
+package trace
+
+import "testing"
+
+func TestMergeRenumbersAndCarriesParams(t *testing.T) {
+	dst := New()
+	dst.Append(Event{Name: "Warmup", Phase: Neural})
+
+	a := New()
+	a.Append(Event{Name: "A0", Phase: Symbolic, FLOPs: 10})
+	a.Append(Event{Name: "A1", Phase: Symbolic, FLOPs: 20})
+	a.RegisterParam(Param{Name: "codebook", Phase: Symbolic, Kind: "codebook", Bytes: 64})
+
+	b := New()
+	b.Append(Event{Name: "B0", Phase: Neural, FLOPs: 30})
+
+	dst.Merge(a, nil, b)
+
+	wantNames := []string{"Warmup", "A0", "A1", "B0"}
+	if dst.Len() != len(wantNames) {
+		t.Fatalf("merged trace has %d events, want %d", dst.Len(), len(wantNames))
+	}
+	for i, ev := range dst.Events {
+		if ev.Name != wantNames[i] {
+			t.Errorf("event %d is %q, want %q", i, ev.Name, wantNames[i])
+		}
+		if ev.Seq != i {
+			t.Errorf("event %d has Seq %d after merge", i, ev.Seq)
+		}
+	}
+	params := dst.Params()
+	if len(params) != 1 || params[0].Name != "codebook" {
+		t.Fatalf("merged params = %v, want the codebook param carried over", params)
+	}
+}
+
+func TestMergeEmptyIsNoOp(t *testing.T) {
+	dst := New()
+	dst.Append(Event{Name: "X"})
+	dst.Merge(New(), nil)
+	if dst.Len() != 1 || dst.Events[0].Seq != 0 {
+		t.Fatalf("merge of empty traces changed dst: %+v", dst.Events)
+	}
+}

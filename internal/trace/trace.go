@@ -284,6 +284,23 @@ func (t *Trace) ByStage() []StageStats {
 	return out
 }
 
+// Merge appends the events of parts into t in argument order, renumbering
+// their sequence numbers to continue t's own, and carries over any params
+// the parts registered. It is the deterministic combine step for traces
+// recorded on sharded per-worker buffers: as long as callers pass shards in
+// a fixed order, the merged trace is identical run to run.
+func (t *Trace) Merge(parts ...*Trace) {
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for i := range p.Events {
+			t.Append(p.Events[i])
+		}
+		t.params = append(t.params, p.params...)
+	}
+}
+
 // Filter returns a new trace holding the events for which keep returns true.
 // Params are carried over unchanged.
 func (t *Trace) Filter(keep func(*Event) bool) *Trace {

@@ -29,6 +29,10 @@ type Config struct {
 	Simulations int   // MCTS simulations per move; default 64
 	Moves       int   // moves to play per Run; default 4
 	Seed        int64 // default 1
+
+	// Engine selects the execution backend for engines the workload
+	// builds itself (self-play loops).
+	Engine ops.Config
 }
 
 func (c *Config) defaults() {
@@ -113,19 +117,20 @@ type node struct {
 
 // Workload is the MCTS + network instance.
 type Workload struct {
-	cfg Config
-	g   *tensor.RNG
-	net *nn.CNN    // shared trunk
-	pol *nn.Linear // policy head over trunk features
-	val *nn.Linear // value head
-	b   *board
+	cfg       Config
+	newEngine func() *ops.Engine
+	g         *tensor.RNG
+	net       *nn.CNN    // shared trunk
+	pol       *nn.Linear // policy head over trunk features
+	val       *nn.Linear // value head
+	b         *board
 }
 
 // New constructs the workload.
 func New(cfg Config) *Workload {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
-	w := &Workload{cfg: cfg, g: g, b: newBoard(cfg.Board)}
+	w := &Workload{cfg: cfg, newEngine: cfg.Engine.Factory(), g: g, b: newBoard(cfg.Board)}
 	w.net = nn.NewCNN(g, "alphago.trunk", nn.CNNConfig{InChannels: 2, InSize: cfg.Board, Channels: []int{16}, Residual: true, OutDim: 64})
 	w.pol = nn.NewLinear(g, "alphago.policy", 64, cfg.Board*cfg.Board, true)
 	w.val = nn.NewLinear(g, "alphago.value", 64, 1, true)
@@ -289,7 +294,7 @@ func (w *Workload) PlayGreedyGame() (int8, error) {
 	b := newBoard(w.cfg.Board)
 	player := int8(1)
 	for !b.full() {
-		e := ops.New()
+		e := w.newEngine()
 		mv, err := w.Search(e, b, player)
 		if err != nil {
 			return 0, err

@@ -21,6 +21,10 @@ type Config struct {
 	ImgSize int   // rendered panel resolution; default 32
 	Embed   int   // embedding width; default 128
 	Seed    int64 // default 1
+
+	// Engine selects the execution backend for engines the workload
+	// builds itself (training and accuracy loops).
+	Engine ops.Config
 }
 
 func (c *Config) defaults() {
@@ -40,10 +44,11 @@ func (c *Config) defaults() {
 
 // Baseline is the workload instance.
 type Baseline struct {
-	cfg    Config
-	g      *tensor.RNG
-	cnn    *nn.CNN
-	scorer *nn.Sequential
+	cfg       Config
+	newEngine func() *ops.Engine
+	g         *tensor.RNG
+	cnn       *nn.CNN
+	scorer    *nn.Sequential
 }
 
 // New constructs the baseline.
@@ -51,10 +56,11 @@ func New(cfg Config) *Baseline {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
 	return &Baseline{
-		cfg:    cfg,
-		g:      g,
-		cnn:    nn.NewCNN(g, "baseline.enc", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16, 32}, Residual: true, OutDim: cfg.Embed}),
-		scorer: nn.NewMLP(g, "baseline.scorer", 2*cfg.Embed, cfg.Embed, 1),
+		cfg:       cfg,
+		newEngine: cfg.Engine.Factory(),
+		g:         g,
+		cnn:       nn.NewCNN(g, "baseline.enc", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16, 32}, Residual: true, OutDim: cfg.Embed}),
+		scorer:    nn.NewMLP(g, "baseline.scorer", 2*cfg.Embed, cfg.Embed, 1),
 	}
 }
 
@@ -120,7 +126,7 @@ func (w *Baseline) SolveAccuracy(n int) float64 {
 	correct := 0
 	for i := 0; i < n; i++ {
 		task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-		e := ops.New()
+		e := w.newEngine()
 		if got, err := w.Solve(e, task); err == nil && got == task.AnswerIdx {
 			correct++
 		}

@@ -2,7 +2,6 @@ package neural
 
 import (
 	"github.com/neurosym/nsbench/internal/autograd"
-	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/raven"
 	"github.com/neurosym/nsbench/internal/tensor"
 )
@@ -24,7 +23,7 @@ func (w *Baseline) TrainScorer(tasks, epochs int, lr float32) (first, last float
 	var samples []sample
 	for ti := 0; ti < tasks; ti++ {
 		task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-		e := ops.New()
+		e := w.newEngine()
 		panels := append(append([]raven.Panel{}, task.Context...), task.Choices...)
 		imgs := make([]*tensor.Tensor, len(panels))
 		for i, p := range panels {

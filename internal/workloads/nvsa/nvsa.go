@@ -37,6 +37,10 @@ type Config struct {
 	// perception noise floor).
 	SparsityEps float64
 	Seed        int64 // task + weight seed; default 1
+
+	// Engine selects the execution backend for engines the workload
+	// builds itself (accuracy loops).
+	Engine ops.Config
 }
 
 func (c *Config) defaults() {
@@ -63,6 +67,7 @@ func (c *Config) defaults() {
 // NVSA is the workload instance.
 type NVSA struct {
 	cfg       Config
+	newEngine func() *ops.Engine
 	g         *tensor.RNG
 	cnn       *nn.CNN
 	space     *vsa.Space
@@ -80,11 +85,12 @@ func New(cfg Config) *NVSA {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
 	w := &NVSA{
-		cfg:   cfg,
-		g:     g,
-		cnn:   nn.NewCNN(g, "nvsa.frontend", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, Residual: true, OutDim: cfg.Dim}),
-		space: vsa.NewSpace(vsa.HRR, cfg.Dim, cfg.Seed+1),
-		attrs: []raven.Attribute{raven.Number, raven.Type, raven.Size, raven.Color},
+		cfg:       cfg,
+		newEngine: cfg.Engine.Factory(),
+		g:         g,
+		cnn:       nn.NewCNN(g, "nvsa.frontend", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, Residual: true, OutDim: cfg.Dim}),
+		space:     vsa.NewSpace(vsa.HRR, cfg.Dim, cfg.Seed+1),
+		attrs:     []raven.Attribute{raven.Number, raven.Type, raven.Size, raven.Color},
 	}
 	w.codebooks = make(map[raven.Attribute]*vsa.Codebook, len(w.attrs))
 	combos := 1
@@ -315,7 +321,7 @@ func (w *NVSA) SolveAccuracy(n int) float64 {
 	correct := 0
 	for i := 0; i < n; i++ {
 		task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-		e := ops.New()
+		e := w.newEngine()
 		got, err := w.Solve(e, task)
 		if err == nil && got == task.AnswerIdx {
 			correct++

@@ -26,6 +26,10 @@ type Config struct {
 	ImgSize int     // rendered panel resolution; default 32
 	Noise   float64 // perception label noise; default 0.01
 	Seed    int64   // default 1
+
+	// Engine selects the execution backend for engines the workload
+	// builds itself (accuracy loops).
+	Engine ops.Config
 }
 
 func (c *Config) defaults() {
@@ -45,10 +49,11 @@ func (c *Config) defaults() {
 
 // PrAE is the workload instance.
 type PrAE struct {
-	cfg   Config
-	g     *tensor.RNG
-	cnn   *nn.CNN
-	attrs []raven.Attribute
+	cfg       Config
+	newEngine func() *ops.Engine
+	g         *tensor.RNG
+	cnn       *nn.CNN
+	attrs     []raven.Attribute
 }
 
 // New constructs the workload.
@@ -56,10 +61,11 @@ func New(cfg Config) *PrAE {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
 	return &PrAE{
-		cfg:   cfg,
-		g:     g,
-		cnn:   nn.NewCNN(g, "prae.perception", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, OutDim: 64}),
-		attrs: []raven.Attribute{raven.Number, raven.Type, raven.Size, raven.Color},
+		cfg:       cfg,
+		newEngine: cfg.Engine.Factory(),
+		g:         g,
+		cnn:       nn.NewCNN(g, "prae.perception", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, OutDim: 64}),
+		attrs:     []raven.Attribute{raven.Number, raven.Type, raven.Size, raven.Color},
 	}
 }
 
@@ -196,7 +202,7 @@ func (w *PrAE) SolveAccuracy(n int) float64 {
 	correct := 0
 	for i := 0; i < n; i++ {
 		task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-		e := ops.New()
+		e := w.newEngine()
 		if got, err := w.Solve(e, task); err == nil && got == task.AnswerIdx {
 			correct++
 		}

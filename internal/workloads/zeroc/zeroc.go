@@ -26,6 +26,10 @@ type Config struct {
 	ImgSize  int   // grid resolution; default 32
 	Ensemble int   // energy-model ensemble size; default 4
 	Seed     int64 // default 1
+
+	// Engine selects the execution backend for engines the workload
+	// builds itself (classification loops).
+	Engine ops.Config
 }
 
 func (c *Config) defaults() {
@@ -43,6 +47,7 @@ func (c *Config) defaults() {
 // ZeroC is the workload instance.
 type ZeroC struct {
 	cfg       Config
+	newEngine func() *ops.Engine
 	g         *tensor.RNG
 	ebms      []*nn.CNN        // energy-based model ensemble (one per constituent model)
 	templates []*tensor.Tensor // canonical concept masks for grounding search
@@ -52,7 +57,7 @@ type ZeroC struct {
 func New(cfg Config) *ZeroC {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
-	w := &ZeroC{cfg: cfg, g: g}
+	w := &ZeroC{cfg: cfg, newEngine: cfg.Engine.Factory(), g: g}
 	for i := 0; i < cfg.Ensemble; i++ {
 		w.ebms = append(w.ebms, nn.NewCNN(g, fmt.Sprintf("zeroc.ebm%d", i),
 			nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, Residual: true, OutDim: 1}))
@@ -251,7 +256,7 @@ func (w *ZeroC) Accuracy(n int) float64 {
 	correct := 0
 	for i := 0; i < n; i++ {
 		inst := datasets.GenConceptGrid(w.cfg.ImgSize, names[i%len(names)], w.g)
-		e := ops.New()
+		e := w.newEngine()
 		if got, err := w.Classify(e, inst); err == nil && got == inst.Concept {
 			correct++
 		}
