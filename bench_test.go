@@ -469,8 +469,9 @@ func BenchmarkBackendParallelConv2Dx4(b *testing.B) { benchBackendConv2D(b, 4) }
 // factorization loop through the pool.
 func benchBackendNVSA(b *testing.B, cfg ops.Config) {
 	w := nvsa.New(nvsa.Config{Engine: cfg})
-	newEngine := cfg.Factory()
-	var last *ops.Engine
+	defer w.Close()
+	newEngine, release := cfg.Factory()
+	defer release() // tears down the factory's shared pool
 	var sym time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -479,12 +480,8 @@ func benchBackendNVSA(b *testing.B, cfg ops.Config) {
 			b.Fatal(err)
 		}
 		sym = e.Trace().PhaseDuration(trace.Symbolic)
-		last = e
 	}
 	b.StopTimer()
-	if last != nil {
-		last.Close() // tears down the factory's shared pool
-	}
 	b.ReportMetric(float64(sym.Microseconds()), "symbolic_us")
 }
 

@@ -43,10 +43,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// run dispatches one experiment (or all of them).
+// run dispatches one experiment (or all of them). All characterization
+// runs borrow engines from one shared backend pool, torn down on return.
 func run(experiment string, dev hwsim.Device, eng ops.Config) error {
 	needSuite := map[string]bool{"fig2a": true, "fig3a": true, "fig3b": true, "fig3c": true, "fig4": true, "all": true}
-	opts := core.Options{Engine: eng}
+	pool := eng.NewPool()
+	defer pool.Close()
+	opts := core.Options{Engine: eng, Pool: pool}
 
 	var reports []*core.Report
 	if needSuite[experiment] {

@@ -45,7 +45,10 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "profiling %s on the %s backend...\n", w.Name(), *backendName)
-	r, err := core.Characterize(w, core.Options{Device: dev, Engine: eng})
+	pool := eng.NewPool()
+	r, err := core.Characterize(w, core.Options{Device: dev, Engine: eng, Pool: pool})
+	core.CloseWorkload(w)
+	pool.Close()
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,83 @@
+// Command nsserve runs the characterization service: an HTTP/JSON server
+// that executes neuro-symbolic workload characterizations on a shared
+// backend worker pool, caches the deterministic reports, deduplicates
+// concurrent identical requests, and sheds load with 429s when its
+// admission queue fills.
+//
+// Usage:
+//
+//	nsserve -addr :8080 -backend parallel -workers 4
+//
+//	curl localhost:8080/v1/workloads
+//	curl -X POST localhost:8080/v1/characterize -d '{"workload":"NVSA"}'
+//	curl localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops
+// accepting, in-flight characterizations drain, and the backend worker
+// pool is torn down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backendName := flag.String("backend", ops.BackendParallel, "execution backend: serial or parallel")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "report cache capacity (0 = default 128, negative disables)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+	concurrency := flag.Int("concurrency", 0, "concurrent characterization workers (0 = default 2)")
+	timeout := flag.Duration("timeout", 0, "per-request timeout incl. queueing (0 = default 60s)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Engine:         ops.Config{Backend: *backendName, Workers: *workers},
+		CacheSize:      *cacheSize,
+		QueueDepth:     *queueDepth,
+		Concurrency:    *concurrency,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nsserve: listening on %s (backend %s)\n", *addr, *backendName)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nsserve: shutting down, draining in-flight work...")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve: drain incomplete:", err)
+		}
+		srv.Close()
+	case err := <-errc:
+		srv.Close()
+		if err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nsserve:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,11 @@
 package backend
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestChunkBoundsCoverExactly(t *testing.T) {
@@ -108,6 +111,70 @@ func TestParallelCloseIdempotentAndForAfterClose(t *testing.T) {
 	})
 	if !ran {
 		t.Fatal("For after Close did not run")
+	}
+}
+
+// TestParallelForCloseRace overlaps dispatching goroutines with a
+// concurrent Close. Every For must still cover its full iteration space
+// (degrading to inline execution once the pool is gone) and nothing may
+// panic with a send on a closed channel; the CI -race job checks the
+// channel handoff itself.
+func TestParallelForCloseRace(t *testing.T) {
+	const (
+		goroutines = 4
+		dispatches = 20
+		n          = 512
+	)
+	for iter := 0; iter < 50; iter++ {
+		p := NewParallel(4)
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for k := 0; k < dispatches; k++ {
+					p.For(n, 1, func(lo, hi int) {
+						total.Add(int64(hi - lo))
+					})
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if got := total.Load(); got != goroutines*dispatches*n {
+			t.Fatalf("iteration %d: covered %d iterations, want %d", iter, got, goroutines*dispatches*n)
+		}
+	}
+}
+
+// TestParallelCloseStopsWorkers checks that Close synchronously tears the
+// worker goroutines down — the property long-lived processes rely on to
+// not leak a pool per backend.
+func TestParallelCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewParallel(8)
+	p.For(1<<16, 1, func(lo, hi int) {})
+	p.Close()
+	// Workers have left the task loop when Close returns; give the runtime
+	// a moment to finish unwinding the goroutine stacks.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close: %d, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -20,9 +20,16 @@ type Parallel struct {
 	scratch scratchPool
 
 	start sync.Once
-	tasks chan func()
+	wg    sync.WaitGroup // running worker goroutines
 
-	mu     sync.Mutex
+	// mu guards tasks and closed on both sides: For dispatches under the
+	// read lock, Close and startWorkers mutate under the write lock. The
+	// channel is nilled out under the write lock before it is closed, so a
+	// concurrent For can never send on a closed channel — it either sees
+	// the live channel (and Close waits for the dispatch to finish) or nil
+	// (and falls back to inline execution).
+	mu     sync.RWMutex
+	tasks  chan func()
 	closed bool
 }
 
@@ -44,7 +51,9 @@ func (p *Parallel) Workers() int { return p.workers }
 
 // For splits [0, n) into at most Workers() deterministic contiguous chunks
 // of at least grain iterations, runs chunk 0 on the calling goroutine and
-// the rest on the pool, and returns once all chunks complete.
+// the rest on the pool, and returns once all chunks complete. For is safe
+// to call concurrently with Close: chunks that can no longer reach the
+// pool run inline.
 func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -57,20 +66,31 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 	p.start.Do(p.startWorkers)
 	var wg sync.WaitGroup
 	wg.Add(chunks - 1)
+	// Hand chunks to the pool; if every worker is busy (e.g. a misbehaving
+	// nested dispatch) or the pool is closed, run them inline so progress
+	// is guaranteed without unbounded goroutine growth. Inline chunks run
+	// after the read lock is released: holding it across fn would deadlock
+	// a nested For against a concurrent Close waiting for the write lock.
+	var inline []func()
+	p.mu.RLock()
+	tasks := p.tasks
 	for c := 1; c < chunks; c++ {
 		lo, hi := chunkBounds(n, chunks, c)
 		task := func() {
 			defer wg.Done()
 			fn(lo, hi)
 		}
-		// Hand the chunk to the pool; if every worker is busy (e.g. a
-		// misbehaving nested dispatch), run it inline so progress is
-		// guaranteed without unbounded goroutine growth.
+		// A nil channel is never ready to send, so a For overlapping Close
+		// degrades to inline execution instead of panicking.
 		select {
-		case p.tasks <- task:
+		case tasks <- task:
 		default:
-			task()
+			inline = append(inline, task)
 		}
+	}
+	p.mu.RUnlock()
+	for _, task := range inline {
+		task()
 	}
 	lo, hi := chunkBounds(n, chunks, 0)
 	fn(lo, hi)
@@ -83,10 +103,19 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 // instead of queueing it where a saturated pool would never drain it —
 // nested dispatches cannot deadlock.
 func (p *Parallel) startWorkers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		// Close already consumed the pool's lifetime: a late first For
+		// keeps tasks nil and every dispatch runs inline.
+		return
+	}
 	tasks := make(chan func())
 	p.tasks = tasks
+	p.wg.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
 		go func() {
+			defer p.wg.Done()
 			for task := range tasks {
 				task()
 			}
@@ -100,22 +129,24 @@ func (p *Parallel) Scratch(n int) []float64 { return p.scratch.get(n) }
 // Release returns a Scratch buffer to the pool.
 func (p *Parallel) Release(buf []float64) { p.scratch.put(buf) }
 
-// Close shuts down the worker pool. For must not be called afterwards;
-// Close is idempotent.
+// Close shuts down the worker pool and waits for the workers to exit;
+// it is idempotent and safe to call concurrently with For. Dispatches
+// that overlap or follow Close run their chunks inline.
 func (p *Parallel) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	p.closed = true
-	// Ensure the start once is consumed so a post-Close For cannot spawn a
-	// fresh pool, then stop any running workers.
-	p.start.Do(func() {})
-	if p.tasks != nil {
-		close(p.tasks)
-		// A nil channel is never ready to send, so a For after Close falls
-		// through its select to inline execution instead of panicking.
-		p.tasks = nil
+	tasks := p.tasks
+	p.tasks = nil
+	p.mu.Unlock()
+	if tasks == nil {
+		return
 	}
+	// Closing outside the lock lets workers running nested dispatches (which
+	// re-acquire the read lock) drain and exit instead of deadlocking.
+	close(tasks)
+	p.wg.Wait()
 }

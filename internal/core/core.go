@@ -105,6 +105,12 @@ type Options struct {
 	// Engine selects the execution backend the characterization run
 	// executes on; the zero value is serial.
 	Engine ops.Config
+	// Pool, when non-nil, supplies engines from a shared backend worker
+	// pool instead of building (and tearing down) a private backend per
+	// run. The pool's owner is responsible for closing it; Characterize
+	// only borrows engines. Long-lived callers (servers, sweeps) set this
+	// so repeated characterizations reuse one worker pool.
+	Pool *ops.Pool
 }
 
 func (o *Options) defaults() {
@@ -120,12 +126,32 @@ func (o *Options) defaults() {
 // the full report.
 func Characterize(w Workload, opts Options) (*Report, error) {
 	opts.defaults()
-	e := opts.Engine.New()
-	defer e.Close()
+	e, release := opts.engine()
+	defer release()
 	if err := w.Run(e); err != nil {
 		return nil, fmt.Errorf("core: running %s: %w", w.Name(), err)
 	}
 	return Analyze(w.Name(), w.Category(), e.Trace(), opts), nil
+}
+
+// engine returns a run engine plus its release function: a borrowed
+// engine from the shared Pool (release is a no-op — the pool owner closes
+// the backend), or a private engine whose backend the release tears down.
+func (o *Options) engine() (*ops.Engine, func()) {
+	if o.Pool != nil {
+		return o.Pool.Engine(), func() {}
+	}
+	e := o.Engine.New()
+	return e, e.Close
+}
+
+// CloseWorkload releases any shared engine backend a workload holds for
+// its internal runs (accuracy loops build engines from a per-workload
+// pool). Workloads without resources are left untouched.
+func CloseWorkload(w Workload) {
+	if c, ok := w.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Analyze derives a report from an existing trace.

@@ -21,6 +21,7 @@ func Fig2a(opts Options) ([]*Report, error) {
 			return nil, err
 		}
 		r, err := Characterize(w, opts)
+		CloseWorkload(w)
 		if err != nil {
 			return nil, err
 		}
@@ -50,8 +51,9 @@ func Fig2b(opts Options) ([]Fig2bRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		e := opts.Engine.New()
-		defer e.Close()
+		e, release := opts.engine()
+		defer release()
+		defer CloseWorkload(w)
 		if err := w.Run(e); err != nil {
 			return nil, err
 		}
@@ -99,6 +101,7 @@ func Fig2c(opts Options) ([]Fig2cRow, error) {
 		for rep := 0; rep < 3; rep++ {
 			w := nvsa.New(nvsa.Config{M: m, Engine: opts.Engine})
 			r, err := Characterize(w, opts)
+			CloseWorkload(w)
 			if err != nil {
 				return nil, err
 			}
@@ -130,6 +133,7 @@ func Fig5(opts Options) ([]Fig5Row, error) {
 		return nil, err
 	}
 	r, err := Characterize(w, opts)
+	CloseWorkload(w)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +166,9 @@ func Tab4(device hwsim.Device, opts Options) ([]hwsim.KernelStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := opts.Engine.New()
-	defer e.Close()
+	e, release := opts.engine()
+	defer release()
+	defer CloseWorkload(w)
 	if err := w.Run(e); err != nil {
 		return nil, err
 	}
@@ -209,6 +214,7 @@ func ScalabilitySweep(dims []int, opts Options) ([]ScalabilityRow, error) {
 	for _, d := range dims {
 		w := nvsa.New(nvsa.Config{Dim: d, Engine: opts.Engine})
 		r, err := Characterize(w, opts)
+		CloseWorkload(w)
 		if err != nil {
 			return nil, err
 		}

@@ -44,8 +44,9 @@ func RecommendationAblations(units []int, opts Options) (*Recommendations, error
 	if err != nil {
 		return nil, err
 	}
-	e := opts.Engine.New()
-	defer e.Close()
+	e, release := opts.engine()
+	defer release()
+	defer CloseWorkload(w)
 	if err := w.Run(e); err != nil {
 		return nil, err
 	}

@@ -61,8 +61,24 @@ type projJSON struct {
 	EnergyJ       float64 `json:"energy_j"`
 }
 
-// WriteJSON dumps the report summary as JSON (without the raw trace).
+// MarshalJSON renders the summary form — the same schema WriteJSON
+// streams, without the raw trace. Map keys are sorted by encoding/json,
+// so a given report always marshals to the same bytes; this is what makes
+// served characterization reports cacheable byte-for-byte.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.summary())
+}
+
+// WriteJSON dumps the report summary as indented JSON (without the raw
+// trace).
 func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.summary())
+}
+
+// summary converts the report to its machine-readable form.
+func (r *Report) summary() reportJSON {
 	out := reportJSON{
 		Name:              r.Name,
 		Category:          r.Category,
@@ -117,7 +133,5 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			EnergyJ:       p.EnergyJ,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return out
 }

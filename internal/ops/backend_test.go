@@ -48,15 +48,31 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestConfigFactorySharesBackend(t *testing.T) {
-	newEngine := Config{Backend: BackendParallel, Workers: 2}.Factory()
+	newEngine, release := Config{Backend: BackendParallel, Workers: 2}.Factory()
 	e1, e2 := newEngine(), newEngine()
-	defer e1.Close()
 	if e1.Backend() != e2.Backend() {
 		t.Fatal("factory engines do not share one backend")
 	}
 	if e1.Backend().Workers() != 2 {
 		t.Fatalf("workers = %d, want 2", e1.Backend().Workers())
 	}
+	release()
+	release() // idempotent
+	// Engines survive release by degrading to inline dispatch.
+	e1.Backend().For(4, 1, func(lo, hi int) {})
+}
+
+func TestPoolEngineAndClose(t *testing.T) {
+	pool := Config{Backend: BackendParallel, Workers: 2}.NewPool()
+	e1, e2 := pool.Engine(), pool.Engine()
+	if e1.Backend() != pool.Backend() || e2.Backend() != pool.Backend() {
+		t.Fatal("pool engines do not run on the pool's backend")
+	}
+	if e1.Trace() == e2.Trace() {
+		t.Fatal("pool engines must record into private traces")
+	}
+	pool.Close()
+	pool.Close() // idempotent
 }
 
 func TestParallelEngineMatchesSerial(t *testing.T) {

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/neurosym/nsbench/internal/backend"
 )
@@ -55,17 +56,48 @@ func (c Config) Validate() error {
 	return fmt.Errorf("ops: unknown backend %q (want %q or %q)", c.Backend, BackendSerial, BackendParallel)
 }
 
-// New builds an engine on a backend of its own.
+// New builds an engine on a backend of its own. The caller owns the
+// engine's backend and must Close the engine when done.
 func (c Config) New() *Engine { return New(WithBackend(c.build())) }
 
-// Factory returns an engine constructor that shares one backend — and so
-// one worker pool and one scratch pool — across every engine it creates.
-// Workloads that build a fresh engine per run (accuracy loops, sweeps) use
-// this to avoid spawning a pool per iteration.
-func (c Config) Factory() func() *Engine {
-	b := c.build()
-	return func() *Engine { return New(WithBackend(b)) }
+// NewPool builds the shared-backend pool for c. Every engine the pool
+// hands out runs on one backend — and so one worker pool and one scratch
+// pool — and the pool's Close is the single teardown point for all of
+// them. Workloads and services that build a fresh engine per run
+// (accuracy loops, sweeps, servers) use this to avoid spawning a worker
+// pool per iteration and to avoid leaking the one they share.
+func (c Config) NewPool() *Pool { return &Pool{be: c.build()} }
+
+// Factory returns an engine constructor that shares one backend across
+// every engine it creates, plus the release function that tears that
+// backend down. The caller owns the shared backend: exactly one release
+// call is required (extra calls are no-ops), after which engines built by
+// the constructor must no longer run kernels.
+func (c Config) Factory() (newEngine func() *Engine, release func()) {
+	p := c.NewPool()
+	return p.Engine, p.Close
 }
+
+// Pool owns one shared execution backend and builds engines on it. The
+// zero value is not usable; construct pools with Config.NewPool. A Pool is
+// safe for concurrent use: engines may be created from many goroutines
+// (each engine itself stays single-goroutine).
+type Pool struct {
+	be   backend.Backend
+	once sync.Once
+}
+
+// Engine returns a fresh engine recording into a fresh trace on the pool's
+// shared backend. Do not Close the returned engine — the backend belongs
+// to the pool; dropping the engine is enough.
+func (p *Pool) Engine() *Engine { return New(WithBackend(p.be)) }
+
+// Backend exposes the shared backend (e.g. for Workers() introspection).
+func (p *Pool) Backend() backend.Backend { return p.be }
+
+// Close tears down the shared backend's worker goroutines. Close is
+// idempotent; engines built from the pool must not run kernels afterwards.
+func (p *Pool) Close() { p.once.Do(p.be.Close) }
 
 func (c Config) build() backend.Backend {
 	if err := c.Validate(); err != nil {

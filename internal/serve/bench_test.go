@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// BenchmarkServeCacheHit measures the hot path: canonicalize, cache lookup,
+// write cached bytes. No characterization executes after the first request.
+func BenchmarkServeCacheHit(b *testing.B) {
+	resetCtl(false)
+	s := newTestServer(b, Config{})
+	h := s.Handler()
+	if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+		b.Fatalf("priming request: %d %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+			b.Fatalf("request: %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	if s.st.runs.Load() != 1 {
+		b.Fatalf("cache-hit benchmark executed %d runs, want 1", s.st.runs.Load())
+	}
+}
+
+// BenchmarkServeMiss measures the full pipeline — admission queue, flight
+// dispatch, characterization, report rendering — with the cache disabled so
+// every request is a miss.
+func BenchmarkServeMiss(b *testing.B) {
+	resetCtl(false)
+	s := newTestServer(b, Config{CacheSize: -1})
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+			b.Fatalf("request: %d %s", rec.Code, rec.Body)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache from canonical request
+// keys to rendered report bytes. A non-positive capacity disables caching
+// (every Get misses, every Put is dropped) — the miss benchmarks use this
+// to exercise the full characterization path. lru is not safe for
+// concurrent use; the Server guards it with its own mutex.
+type lru struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// lruEntry is one cached (key, report bytes) pair.
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key and marks them most recently used.
+func (c *lru) Get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru) Put(key string, val []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.items, tail.Value.(*lruEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Len reports the number of cached reports.
+func (c *lru) Len() int { return c.order.Len() }

@@ -1,0 +1,424 @@
+// Package serve turns the one-shot characterization pipeline into a
+// long-running HTTP/JSON service. It exposes the workload registry
+// (/v1/workloads), characterization (/v1/characterize) and operational
+// counters (/v1/stats), and layers three serving concerns over
+// core.Characterize:
+//
+//   - an LRU report cache keyed by the canonicalized request — the
+//     backend determinism contract makes reports a pure function of the
+//     request, so cache hits are byte-identical to misses;
+//   - singleflight deduplication — N concurrent identical requests run
+//     one characterization and share its bytes;
+//   - a bounded admission queue with backpressure — when the queue is
+//     full the server answers 429 + Retry-After instead of piling up
+//     goroutines, and queued work whose waiters have all left is dropped
+//     before it wastes a worker.
+//
+// Every characterization borrows an engine from one shared ops.Pool, so a
+// server process runs one backend worker pool for its whole lifetime and
+// Close tears it down deterministically.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/core"
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+)
+
+// Config parameterizes a Server. The zero value serves on a serial
+// backend with production-ish defaults.
+type Config struct {
+	// Engine selects the execution backend shared by every
+	// characterization run ("serial" default, or "parallel").
+	Engine ops.Config
+	// CacheSize is the LRU capacity in reports; 0 selects 128, negative
+	// disables caching.
+	CacheSize int
+	// QueueDepth bounds the admission queue; 0 selects 64. A full queue
+	// rejects new work with 429.
+	QueueDepth int
+	// Concurrency is the number of characterization workers; 0 selects 2.
+	Concurrency int
+	// RequestTimeout caps how long a request waits for its report
+	// (queueing included); 0 selects 60s.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 2
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+}
+
+// Request selects one characterization: a registered workload and the
+// reference device for roofline/projection analysis.
+type Request struct {
+	Workload string `json:"workload"`
+	// Device is the hwsim reference device name; empty selects the
+	// paper's RTX 2080 Ti.
+	Device string `json:"device,omitempty"`
+}
+
+// canonicalize validates req and returns its normalized form plus the
+// cache key. Two requests that mean the same characterization always
+// canonicalize to the same key (whitespace trimmed, workload name
+// case-folded against the registry, device resolved to its model name),
+// which is what makes the cache and singleflight effective.
+func canonicalize(req Request) (Request, string, error) {
+	name := strings.TrimSpace(req.Workload)
+	if name == "" {
+		return Request{}, "", errors.New("missing workload")
+	}
+	resolved := ""
+	for _, known := range core.WorkloadNames() {
+		if strings.EqualFold(known, name) {
+			resolved = known
+			break
+		}
+	}
+	if resolved == "" {
+		return Request{}, "", fmt.Errorf("unknown workload %q (known: %s)", name, strings.Join(core.WorkloadNames(), ", "))
+	}
+	devName := strings.TrimSpace(req.Device)
+	if devName == "" {
+		devName = hwsim.RTX2080Ti.Name
+	}
+	var dev hwsim.Device
+	found := false
+	for _, d := range hwsim.AllDevices() {
+		if strings.EqualFold(d.Name, devName) {
+			dev, found = d, true
+			break
+		}
+	}
+	if !found {
+		return Request{}, "", fmt.Errorf("unknown device %q", devName)
+	}
+	canon := Request{Workload: resolved, Device: dev.Name}
+	return canon, canon.Workload + "\x00" + canon.Device, nil
+}
+
+// flight is one in-progress characterization that any number of identical
+// requests wait on.
+type flight struct {
+	key  string
+	req  Request
+	done chan struct{} // closed when res/err are final
+	res  []byte
+	err  error
+	code int // HTTP status to pair with err
+
+	// waiting counts the requests currently blocked on done. A worker
+	// that dequeues a flight with zero waiters drops it: everyone who
+	// wanted the report has already timed out or disconnected.
+	waiting atomic.Int64
+}
+
+func (f *flight) join()              { f.waiting.Add(1) }
+func (f *flight) leave()             { f.waiting.Add(-1) }
+func (f *flight) loadWaiting() int64 { return f.waiting.Load() }
+
+// Server is the characterization service. Construct with New, expose via
+// Handler, and Close after the HTTP listener has drained.
+type Server struct {
+	cfg  Config
+	pool *ops.Pool
+
+	mu       sync.Mutex
+	cache    *lru
+	flights  map[string]*flight
+	shutdown bool
+
+	queue chan *flight
+	wg    sync.WaitGroup // characterization workers
+
+	workloadsOnce sync.Once
+	workloadsJSON []byte
+	workloadsErr  error
+
+	st        stats
+	closeOnce sync.Once
+}
+
+// New builds a server, spawns its characterization workers, and returns
+// it ready to serve. The server owns one shared backend pool; Close
+// releases it.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    cfg.Engine.NewPool(),
+		cache:   newLRU(cfg.CacheSize),
+		flights: make(map[string]*flight),
+		queue:   make(chan *flight, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/v1/characterize", s.handleCharacterize)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// Close drains the admission queue and tears down the characterization
+// workers and the shared backend pool. Stop the HTTP listener first
+// (http.Server.Shutdown) so no handler can race the queue teardown; any
+// work still queued at that point is completed (waiters present) or
+// dropped (waiters gone) before Close returns. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.shutdown = true
+		s.mu.Unlock()
+		close(s.queue)
+		s.wg.Wait()
+		s.pool.Close()
+	})
+}
+
+// handleWorkloads lists the registered workloads with their taxonomy
+// categories. The list is built once: workload construction is heavyweight
+// (codebooks, weights), and the registry is fixed at init time.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.workloadsOnce.Do(func() {
+		type entry struct {
+			Name     string `json:"name"`
+			Category string `json:"category"`
+		}
+		var list []entry
+		for _, name := range core.WorkloadNames() {
+			wl, err := core.BuildWorkload(name)
+			if err != nil {
+				s.workloadsErr = err
+				return
+			}
+			list = append(list, entry{Name: wl.Name(), Category: wl.Category()})
+			core.CloseWorkload(wl)
+		}
+		s.workloadsJSON, s.workloadsErr = json.Marshal(list)
+	})
+	if s.workloadsErr != nil {
+		http.Error(w, s.workloadsErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, s.workloadsJSON)
+}
+
+// handleStats reports the operational counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.st.snapshot()
+	s.mu.Lock()
+	snap.CacheSize = s.cache.Len()
+	snap.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, b)
+}
+
+// handleCharacterize is the serving hot path: canonicalize, cache lookup,
+// singleflight join-or-lead, bounded admission, wait with deadline.
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.st.requests.Add(1)
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	canon, key, err := canonicalize(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	if b, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.st.cacheHits.Add(1)
+		w.Header().Set("X-NSServe-Cache", "hit")
+		writeJSON(w, b)
+		return
+	}
+	s.st.cacheMiss.Add(1)
+	if s.shutdown {
+		s.mu.Unlock()
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	f, joined := s.flights[key]
+	if joined {
+		s.st.dedupJoins.Add(1)
+		f.join()
+	} else {
+		f = &flight{key: key, req: canon, done: make(chan struct{})}
+		// Register interest before the flight becomes visible to a
+		// worker, or a fast dequeue could mistake it for abandoned.
+		f.join()
+		// Admission happens under the same lock that guards shutdown, so
+		// a send can never race the queue close; the queue is buffered,
+		// making the reservation non-blocking.
+		select {
+		case s.queue <- f:
+			s.flights[key] = f
+		default:
+			s.mu.Unlock()
+			s.st.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "characterization queue is full", http.StatusTooManyRequests)
+			return
+		}
+	}
+	s.mu.Unlock()
+	defer f.leave()
+
+	ctx := r.Context()
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.st.timeouts.Add(1)
+		http.Error(w, "request canceled", statusClientClosed)
+		return
+	case <-timer.C:
+		s.st.timeouts.Add(1)
+		http.Error(w, "timed out waiting for characterization", http.StatusGatewayTimeout)
+		return
+	}
+	if f.err != nil {
+		code := f.code
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, f.err.Error(), code)
+		return
+	}
+	if joined {
+		w.Header().Set("X-NSServe-Cache", "join")
+	} else {
+		w.Header().Set("X-NSServe-Cache", "miss")
+	}
+	writeJSON(w, f.res)
+}
+
+// statusClientClosed mirrors nginx's 499: the client went away before the
+// report was ready. Go's http package never sends it anywhere, but the
+// request is already unanswerable, so the code only lands in logs/tests.
+const statusClientClosed = 499
+
+// worker executes queued flights until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+	}
+}
+
+// runFlight executes one characterization and publishes the result to
+// every waiter, caching it on success.
+func (s *Server) runFlight(f *flight) {
+	// Cancellation at the queue: if every waiter gave up while the flight
+	// sat in the queue, don't burn a worker on a report nobody wants.
+	if f.loadWaiting() == 0 {
+		s.st.abandoned.Add(1)
+		f.err = errors.New("abandoned: all waiters left the queue")
+		f.code = http.StatusServiceUnavailable
+		s.finish(f, false)
+		return
+	}
+	start := time.Now()
+	res, err := s.characterize(f.req)
+	s.st.runs.Add(1)
+	s.st.runNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.st.failures.Add(1)
+		f.err = err
+		s.finish(f, false)
+		return
+	}
+	f.res = res
+	s.finish(f, true)
+}
+
+// finish retires the flight from the singleflight table, optionally
+// caches its bytes, and wakes every waiter.
+func (s *Server) finish(f *flight, cache bool) {
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	if cache {
+		s.cache.Put(f.key, f.res)
+	}
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// characterize builds the workload and runs it on an engine borrowed from
+// the server's shared backend pool.
+func (s *Server) characterize(req Request) ([]byte, error) {
+	wl, err := core.BuildWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	defer core.CloseWorkload(wl)
+	dev, err := hwsim.DeviceByName(req.Device)
+	if err != nil {
+		return nil, err
+	}
+	report, err := core.Characterize(wl, core.Options{Device: dev, Pool: s.pool})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(report)
+}
+
+func writeJSON(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}

@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/core"
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// testCtl coordinates the gated test workloads with the test body. Tests
+// in this package run sequentially, so resetting it per test is safe.
+var testCtl struct {
+	mu      sync.Mutex
+	gate    chan struct{} // Run blocks here until closed (nil = no gate)
+	entered chan struct{} // Run signals here on entry (buffered)
+	runs    atomic.Int64
+}
+
+func resetCtl(gated bool) {
+	testCtl.mu.Lock()
+	defer testCtl.mu.Unlock()
+	if gated {
+		testCtl.gate = make(chan struct{})
+		testCtl.entered = make(chan struct{}, 32)
+	} else {
+		testCtl.gate = nil
+		testCtl.entered = nil
+	}
+	testCtl.runs.Store(0)
+}
+
+func openGate() {
+	testCtl.mu.Lock()
+	defer testCtl.mu.Unlock()
+	if testCtl.gate != nil {
+		close(testCtl.gate)
+		testCtl.gate = nil
+	}
+}
+
+// fakeWorkload is a registry workload cheap enough for serving tests. It
+// records one real event and touches the backend dispatch path so shared
+// worker pools actually spawn (which the leak test depends on).
+type fakeWorkload struct {
+	name  string
+	gated bool
+}
+
+func (f *fakeWorkload) Name() string     { return f.name }
+func (f *fakeWorkload) Category() string { return "Test" }
+
+func (f *fakeWorkload) Run(e *ops.Engine) error {
+	if f.gated {
+		testCtl.mu.Lock()
+		gate, entered := testCtl.gate, testCtl.entered
+		testCtl.mu.Unlock()
+		if entered != nil {
+			entered <- struct{}{}
+		}
+		if gate != nil {
+			<-gate
+		}
+	}
+	testCtl.runs.Add(1)
+	// Force a wide dispatch so a parallel backend spawns its pool.
+	e.Backend().For(1<<15, 1, func(lo, hi int) {})
+	g := tensor.NewRNG(1)
+	e.Add(g.Normal(0, 1, 64), g.Normal(0, 1, 64))
+	return nil
+}
+
+var registerOnce sync.Once
+
+func registerTestWorkloads() {
+	registerOnce.Do(func() {
+		core.RegisterWorkload("testfast", func() core.Workload { return &fakeWorkload{name: "testfast"} })
+		core.RegisterWorkload("testgate", func() core.Workload { return &fakeWorkload{name: "testgate", gated: true} })
+	})
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	registerTestWorkloads()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// post issues one characterize request through the handler.
+func post(h http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/characterize", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	first := post(h, `{"workload":"testfast"}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-NSServe-Cache"); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	second := post(h, `{"workload":"testfast"}`)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request: %d %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get("X-NSServe-Cache"); got != "hit" {
+		t.Fatalf("second request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cache hit is not byte-identical to the miss")
+	}
+	if hits := s.st.cacheHits.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if runs := testCtl.runs.Load(); runs != 1 {
+		t.Fatalf("workload ran %d times, want 1", runs)
+	}
+}
+
+func TestCanonicalRequestsShareCacheEntry(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	if rec := post(h, `{"workload":"testfast","device":"RTX 2080 Ti"}`); rec.Code != http.StatusOK {
+		t.Fatalf("first: %d %s", rec.Code, rec.Body)
+	}
+	// Different spelling, same canonical request → cache hit, no new run.
+	rec := post(h, `{"workload":"TESTFAST","device":"rtx 2080 ti"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-NSServe-Cache"); got != "hit" {
+		t.Fatalf("cache header %q, want hit", got)
+	}
+	if runs := testCtl.runs.Load(); runs != 1 {
+		t.Fatalf("workload ran %d times, want 1", runs)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	for body, wantCode := range map[string]int{
+		`{"workload":"no-such-workload"}`:          http.StatusBadRequest,
+		`{"workload":"testfast","device":"TPUv9"}`: http.StatusBadRequest,
+		`{`:  http.StatusBadRequest,
+		`{}`: http.StatusBadRequest,
+	} {
+		if rec := post(h, body); rec.Code != wantCode {
+			t.Errorf("body %s: status %d, want %d", body, rec.Code, wantCode)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/characterize", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET characterize: %d, want 405", rec.Code)
+	}
+}
+
+func TestSingleflightDeduplicates(t *testing.T) {
+	resetCtl(true)
+	s := newTestServer(t, Config{Concurrency: 1})
+	h := s.Handler()
+	const n = 6
+
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(h, `{"workload":"testgate"}`)
+		}(i)
+	}
+	// The leader is executing (gated); the other n-1 must join its flight.
+	waitFor(t, "worker entry", func() bool { return len(testCtl.entered) >= 1 })
+	waitFor(t, "dedup joins", func() bool { return s.st.dedupJoins.Load() == n-1 })
+	openGate()
+	wg.Wait()
+
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, rec.Code, rec.Body)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), recs[0].Body.Bytes()) {
+			t.Fatalf("request %d returned different bytes than request 0", i)
+		}
+	}
+	if runs := testCtl.runs.Load(); runs != 1 {
+		t.Fatalf("%d concurrent identical requests ran the workload %d times, want exactly 1", n, runs)
+	}
+	if got := s.st.runs.Load(); got != 1 {
+		t.Fatalf("server executed %d runs, want 1", got)
+	}
+}
+
+func TestFullQueueRejectsWith429(t *testing.T) {
+	resetCtl(true)
+	s := newTestServer(t, Config{Concurrency: 1, QueueDepth: 1})
+	h := s.Handler()
+
+	// Distinct devices make distinct canonical keys for the same workload.
+	body := func(dev string) string {
+		return fmt.Sprintf(`{"workload":"testgate","device":%q}`, dev)
+	}
+	var wg sync.WaitGroup
+	results := make([]*httptest.ResponseRecorder, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = post(h, body(hwsim.RTX2080Ti.Name)) }()
+	waitFor(t, "worker busy", func() bool { return len(testCtl.entered) >= 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); results[1] = post(h, body(hwsim.XavierNX.Name)) }()
+	waitFor(t, "queue full", func() bool { return len(s.queue) == 1 })
+
+	rejected := post(h, body(hwsim.JetsonTX2.Name))
+	if rejected.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request: %d, want 429", rejected.Code)
+	}
+	if rejected.Header().Get("Retry-After") == "" {
+		t.Fatal("429 response is missing Retry-After")
+	}
+	if got := s.st.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	openGate()
+	wg.Wait()
+	for i, rec := range results {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("admitted request %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestAbandonedQueuedWorkIsDropped(t *testing.T) {
+	resetCtl(true)
+	s := newTestServer(t, Config{Concurrency: 1, QueueDepth: 2})
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var first *httptest.ResponseRecorder
+	go func() {
+		defer wg.Done()
+		first = post(h, fmt.Sprintf(`{"workload":"testgate","device":%q}`, hwsim.RTX2080Ti.Name))
+	}()
+	waitFor(t, "worker busy", func() bool { return len(testCtl.entered) >= 1 })
+
+	// Second request queues behind the gated run, then its client leaves.
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/characterize",
+		strings.NewReader(fmt.Sprintf(`{"workload":"testgate","device":%q}`, hwsim.XavierNX.Name))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	wg.Add(1)
+	go func() { defer wg.Done(); h.ServeHTTP(rec, req) }()
+	waitFor(t, "second request queued", func() bool { return len(s.queue) == 1 })
+	cancel()
+	waitFor(t, "waiter departure", func() bool { return s.st.timeouts.Load() == 1 })
+
+	openGate()
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", first.Code, first.Body)
+	}
+	if rec.Code != statusClientClosed {
+		t.Fatalf("canceled request: %d, want %d", rec.Code, statusClientClosed)
+	}
+	waitFor(t, "queued work dropped", func() bool { return s.st.abandoned.Load() == 1 })
+	if runs := s.st.runs.Load(); runs != 1 {
+		t.Fatalf("server executed %d runs, want 1 (abandoned work must not run)", runs)
+	}
+}
+
+func TestCloseDrainsInFlightWork(t *testing.T) {
+	resetCtl(true)
+	registerTestWorkloads()
+	s, err := New(Config{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recs[0] = post(h, fmt.Sprintf(`{"workload":"testgate","device":%q}`, hwsim.RTX2080Ti.Name))
+	}()
+	waitFor(t, "worker busy", func() bool { return len(testCtl.entered) >= 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recs[1] = post(h, fmt.Sprintf(`{"workload":"testgate","device":%q}`, hwsim.XavierNX.Name))
+	}()
+	waitFor(t, "second request queued", func() bool { return len(s.queue) == 1 })
+
+	// Release the gate and close concurrently: Close must block until both
+	// the running and the queued characterization have been served.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		openGate()
+	}()
+	s.Close()
+	wg.Wait()
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d after drain: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	if runs := s.st.runs.Load(); runs != 2 {
+		t.Fatalf("drained runs = %d, want 2", runs)
+	}
+	// New (uncached) work after shutdown is refused, not queued. Cached
+	// keys keep serving — only fresh characterizations are turned away.
+	body := fmt.Sprintf(`{"workload":"testgate","device":%q}`, hwsim.JetsonTX2.Name)
+	if rec := post(h, body); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown request: %d, want 503", rec.Code)
+	}
+}
+
+func TestCloseTearsDownWorkerPool(t *testing.T) {
+	resetCtl(false)
+	registerTestWorkloads()
+	before := runtime.NumGoroutine()
+	s, err := New(Config{
+		Engine:      ops.Config{Backend: ops.BackendParallel, Workers: 4},
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run one characterization so the shared backend pool actually spawns.
+	if rec := post(s.Handler(), `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+		t.Fatalf("characterize: %d %s", rec.Code, rec.Body)
+	}
+	s.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close: %d, want <= %d (worker pool leaked)", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWorkloadsAndStatsEndpoints(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/workloads", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("workloads: %d %s", rec.Code, rec.Body)
+	}
+	var list []struct{ Name, Category string }
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("workloads JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range list {
+		names[e.Name] = true
+	}
+	for _, want := range core.SuiteNames() {
+		if !names[want] {
+			t.Fatalf("workloads listing is missing %s (got %v)", want, names)
+		}
+	}
+
+	if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+		t.Fatalf("characterize: %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if snap.Requests != 1 || snap.Runs != 1 || snap.CacheSize != 1 {
+		t.Fatalf("stats snapshot %+v, want 1 request / 1 run / 1 cached", snap)
+	}
+	if snap.AvgRunNanos <= 0 {
+		t.Fatalf("avg run nanos = %d, want > 0", snap.AvgRunNanos)
+	}
+}
+
+// TestRealWorkloadReport runs a genuine suite workload end to end through
+// the server and sanity-checks the report JSON.
+func TestRealWorkloadReport(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	first := post(h, `{"workload":"LNN"}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("LNN characterize: %d %s", first.Code, first.Body)
+	}
+	var report struct {
+		Name          string  `json:"name"`
+		TotalNs       int64   `json:"total_ns"`
+		SymbolicShare float64 `json:"symbolic_share"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &report); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if report.Name != "LNN" || report.TotalNs <= 0 {
+		t.Fatalf("implausible report: %+v", report)
+	}
+	if report.SymbolicShare <= 0 || report.SymbolicShare >= 1 {
+		t.Fatalf("LNN symbolic share = %v, want in (0, 1)", report.SymbolicShare)
+	}
+	second := post(h, `{"workload":"lnn"}`)
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cached real-workload report is not byte-identical")
+	}
+}
+
+func TestCanonicalizeKeys(t *testing.T) {
+	registerTestWorkloads()
+	a, keyA, err := canonicalize(Request{Workload: " nvsa "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload != "NVSA" || a.Device != hwsim.RTX2080Ti.Name {
+		t.Fatalf("canonical form %+v", a)
+	}
+	_, keyB, err := canonicalize(Request{Workload: "NVSA", Device: "rtx 2080 ti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA != keyB {
+		t.Fatalf("equivalent requests got different keys %q vs %q", keyA, keyB)
+	}
+	if _, _, err := canonicalize(Request{}); err == nil {
+		t.Fatal("empty request must not canonicalize")
+	}
+}
+
+func TestLRUEvicts(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Put("c", []byte("3")) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	disabled := newLRU(-1)
+	disabled.Put("x", []byte("1"))
+	if _, ok := disabled.Get("x"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import "sync/atomic"
+
+// stats holds the server's atomic counters. Handlers and workers update
+// them lock-free; /v1/stats reads a snapshot.
+type stats struct {
+	requests   atomic.Int64 // characterize requests received
+	cacheHits  atomic.Int64 // served straight from the LRU
+	cacheMiss  atomic.Int64 // not in cache on arrival
+	dedupJoins atomic.Int64 // requests that joined an in-flight run
+	rejected   atomic.Int64 // 429s from a full admission queue
+	timeouts   atomic.Int64 // waiters that gave up (deadline/cancel)
+	abandoned  atomic.Int64 // queued runs dropped: every waiter had left
+	failures   atomic.Int64 // characterizations that returned an error
+	runs       atomic.Int64 // characterizations actually executed
+	runNanos   atomic.Int64 // total wall time spent executing runs
+}
+
+// Snapshot is the exported /v1/stats form.
+type Snapshot struct {
+	Requests   int64 `json:"requests"`
+	CacheHits  int64 `json:"cache_hits"`
+	CacheMiss  int64 `json:"cache_misses"`
+	DedupJoins int64 `json:"dedup_joins"`
+	Rejected   int64 `json:"rejected"`
+	Timeouts   int64 `json:"timeouts"`
+	Abandoned  int64 `json:"abandoned"`
+	Failures   int64 `json:"failures"`
+	Runs       int64 `json:"runs"`
+	RunNanos   int64 `json:"run_nanos_total"`
+	// AvgRunNanos is RunNanos/Runs (0 when no run completed yet).
+	AvgRunNanos int64 `json:"avg_run_nanos"`
+	// CacheSize and QueueDepth are point-in-time gauges.
+	CacheSize  int `json:"cache_size"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// snapshot reads every counter once. Counters are read individually, so a
+// snapshot taken under load is approximate — fine for monitoring.
+func (s *stats) snapshot() Snapshot {
+	out := Snapshot{
+		Requests:   s.requests.Load(),
+		CacheHits:  s.cacheHits.Load(),
+		CacheMiss:  s.cacheMiss.Load(),
+		DedupJoins: s.dedupJoins.Load(),
+		Rejected:   s.rejected.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Abandoned:  s.abandoned.Load(),
+		Failures:   s.failures.Load(),
+		Runs:       s.runs.Load(),
+		RunNanos:   s.runNanos.Load(),
+	}
+	if out.Runs > 0 {
+		out.AvgRunNanos = out.RunNanos / out.Runs
+	}
+	return out
+}

@@ -26,16 +26,17 @@ func MatMulOn(r Runner, a, b *Tensor) *Tensor {
 	return out
 }
 
-// matMulRows computes output rows [lo, hi) of an m×k · k×n product.
+// matMulRows computes output rows [lo, hi) of an m×k · k×n product. Every
+// a-element participates, including zeros: skipping zero rows would drop
+// IEEE 0·Inf → NaN propagation relative to MatVec and make measured kernel
+// time depend on input sparsity while the recorded FLOP cost does not —
+// skewing the neural/symbolic split the characterization reports.
 func matMulRows(ad, bd, od []float32, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
 			av := arow[p]
-			if av == 0 {
-				continue
-			}
 			brow := bd[p*n : (p+1)*n]
 			for j := range orow {
 				orow[j] += av * brow[j]

@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// poisonRunner hands out Scratch buffers pre-filled with NaN sentinels and
+// never reuses a released buffer. The Runner contract says Scratch contents
+// are unspecified, so every consumer must fully overwrite what it reads; a
+// future partially-overwriting consumer turns the sentinels into NaN
+// outputs and fails these tests loudly instead of silently depending on
+// zeroed (or stale pooled) memory.
+type poisonRunner struct{ released int }
+
+func (p *poisonRunner) For(n, grain int, fn func(lo, hi int)) { Serial.For(n, grain, fn) }
+
+func (p *poisonRunner) Scratch(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = math.NaN()
+	}
+	return buf
+}
+
+func (p *poisonRunner) Release([]float64) { p.released++ }
+
+// TestCircularConvFFTPoisonedScratch checks the FFT convolution path — the
+// main Scratch consumer — against the direct kernel under poisoned scratch.
+func TestCircularConvFFTPoisonedScratch(t *testing.T) {
+	g := NewRNG(11)
+	for _, n := range []int{fftThreshold, 256, 1024} {
+		if n&(n-1) != 0 {
+			t.Fatalf("test size %d must be a power of two to take the FFT path", n)
+		}
+		a, b := g.Normal(0, 1, n), g.Normal(0, 1, n)
+		r := &poisonRunner{}
+		got := CircularConvOn(r, a, b)
+		want := circularConvDirect(Serial, a, b)
+		if r.released == 0 {
+			t.Fatalf("n=%d: FFT path did not draw runner scratch; poison test lost its subject", n)
+		}
+		for i := range want.Data() {
+			gv, wv := got.Data()[i], want.Data()[i]
+			if math.IsNaN(float64(gv)) {
+				t.Fatalf("n=%d: output[%d] is NaN — a scratch read before write leaked the poison", n, i)
+			}
+			if diff := math.Abs(float64(gv - wv)); diff > 1e-3 {
+				t.Fatalf("n=%d: output[%d] = %v, direct %v (diff %v)", n, i, gv, wv, diff)
+			}
+		}
+	}
+}
+
+// TestParallelScratchContentsUnspecified pins the other side of the
+// contract: a pooled backend really can return dirty buffers, which is
+// what makes the poison test above meaningful.
+func TestParallelScratchContentsUnspecified(t *testing.T) {
+	r := &poisonRunner{}
+	buf := r.Scratch(64)
+	for _, v := range buf {
+		if !math.IsNaN(v) {
+			t.Fatal("poisonRunner must fill scratch with NaN sentinels")
+		}
+	}
+}

@@ -245,6 +245,25 @@ func TestMatMul(t *testing.T) {
 	}
 }
 
+func TestMatMulPropagatesNonFinite(t *testing.T) {
+	// IEEE 0·Inf is NaN. A zero-skipping GEMM would silently drop the NaN
+	// that MatVec produces for the same operands; the kernels must agree.
+	inf := float32(math.Inf(1))
+	a := FromSlice([]float32{0, 1}, 1, 2)
+	b := FromSlice([]float32{inf, 2, 3, 4}, 2, 2)
+	mm := MatMul(a, b) // row 0: [0·Inf + 1·3, 0·2 + 1·4]
+	if !math.IsNaN(float64(mm.Data()[0])) {
+		t.Fatalf("MatMul[0] = %v, want NaN from 0*Inf", mm.Data()[0])
+	}
+	if mm.Data()[1] != 4 {
+		t.Fatalf("MatMul[1] = %v, want 4", mm.Data()[1])
+	}
+	mv := MatVec(FromSlice([]float32{inf, 3}, 1, 2), FromSlice([]float32{0, 1}, 2))
+	if !math.IsNaN(float64(mv.Data()[0])) {
+		t.Fatalf("MatVec[0] = %v, want NaN from Inf*0", mv.Data()[0])
+	}
+}
+
 func TestMatMulIdentity(t *testing.T) {
 	g := NewRNG(1)
 	a := g.Normal(0, 1, 5, 5)

@@ -119,6 +119,7 @@ type node struct {
 type Workload struct {
 	cfg       Config
 	newEngine func() *ops.Engine
+	release   func() // tears down the shared engine backend
 	g         *tensor.RNG
 	net       *nn.CNN    // shared trunk
 	pol       *nn.Linear // policy head over trunk features
@@ -130,7 +131,8 @@ type Workload struct {
 func New(cfg Config) *Workload {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
-	w := &Workload{cfg: cfg, newEngine: cfg.Engine.Factory(), g: g, b: newBoard(cfg.Board)}
+	newEngine, release := cfg.Engine.Factory()
+	w := &Workload{cfg: cfg, newEngine: newEngine, release: release, g: g, b: newBoard(cfg.Board)}
 	w.net = nn.NewCNN(g, "alphago.trunk", nn.CNNConfig{InChannels: 2, InSize: cfg.Board, Channels: []int{16}, Residual: true, OutDim: 64})
 	w.pol = nn.NewLinear(g, "alphago.policy", 64, cfg.Board*cfg.Board, true)
 	w.val = nn.NewLinear(g, "alphago.value", 64, 1, true)
@@ -139,6 +141,9 @@ func New(cfg Config) *Workload {
 
 // Name implements the workload identity.
 func (w *Workload) Name() string { return "AlphaGo" }
+
+// Close releases the workload's shared engine backend (worker pool).
+func (w *Workload) Close() { w.release() }
 
 // Category returns the taxonomy category of Table I.
 func (w *Workload) Category() string { return "Symbolic[Neuro]" }

@@ -46,6 +46,7 @@ func (c *Config) defaults() {
 type Baseline struct {
 	cfg       Config
 	newEngine func() *ops.Engine
+	release   func() // tears down the shared engine backend
 	g         *tensor.RNG
 	cnn       *nn.CNN
 	scorer    *nn.Sequential
@@ -55,9 +56,11 @@ type Baseline struct {
 func New(cfg Config) *Baseline {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
+	newEngine, release := cfg.Engine.Factory()
 	return &Baseline{
 		cfg:       cfg,
-		newEngine: cfg.Engine.Factory(),
+		newEngine: newEngine,
+		release:   release,
 		g:         g,
 		cnn:       nn.NewCNN(g, "baseline.enc", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16, 32}, Residual: true, OutDim: cfg.Embed}),
 		scorer:    nn.NewMLP(g, "baseline.scorer", 2*cfg.Embed, cfg.Embed, 1),
@@ -66,6 +69,9 @@ func New(cfg Config) *Baseline {
 
 // Name implements the workload identity.
 func (w *Baseline) Name() string { return "NeuralBaseline" }
+
+// Close releases the workload's shared engine backend (worker pool).
+func (w *Baseline) Close() { w.release() }
 
 // Category identifies the baseline.
 func (w *Baseline) Category() string { return "Neural (baseline)" }

@@ -68,6 +68,7 @@ func (c *Config) defaults() {
 type NVSA struct {
 	cfg       Config
 	newEngine func() *ops.Engine
+	release   func() // tears down the shared engine backend
 	g         *tensor.RNG
 	cnn       *nn.CNN
 	space     *vsa.Space
@@ -84,9 +85,11 @@ type NVSA struct {
 func New(cfg Config) *NVSA {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
+	newEngine, release := cfg.Engine.Factory()
 	w := &NVSA{
 		cfg:       cfg,
-		newEngine: cfg.Engine.Factory(),
+		newEngine: newEngine,
+		release:   release,
 		g:         g,
 		cnn:       nn.NewCNN(g, "nvsa.frontend", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, Residual: true, OutDim: cfg.Dim}),
 		space:     vsa.NewSpace(vsa.HRR, cfg.Dim, cfg.Seed+1),
@@ -108,6 +111,9 @@ func New(cfg Config) *NVSA {
 
 // Name implements the workload identity.
 func (w *NVSA) Name() string { return "NVSA" }
+
+// Close releases the workload's shared engine backend (worker pool).
+func (w *NVSA) Close() { w.release() }
 
 // Category returns the taxonomy category of Table III.
 func (w *NVSA) Category() string { return "Neuro|Symbolic" }

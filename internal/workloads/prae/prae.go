@@ -51,6 +51,7 @@ func (c *Config) defaults() {
 type PrAE struct {
 	cfg       Config
 	newEngine func() *ops.Engine
+	release   func() // tears down the shared engine backend
 	g         *tensor.RNG
 	cnn       *nn.CNN
 	attrs     []raven.Attribute
@@ -60,9 +61,11 @@ type PrAE struct {
 func New(cfg Config) *PrAE {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
+	newEngine, release := cfg.Engine.Factory()
 	return &PrAE{
 		cfg:       cfg,
-		newEngine: cfg.Engine.Factory(),
+		newEngine: newEngine,
+		release:   release,
 		g:         g,
 		cnn:       nn.NewCNN(g, "prae.perception", nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, OutDim: 64}),
 		attrs:     []raven.Attribute{raven.Number, raven.Type, raven.Size, raven.Color},
@@ -71,6 +74,9 @@ func New(cfg Config) *PrAE {
 
 // Name implements the workload identity.
 func (w *PrAE) Name() string { return "PrAE" }
+
+// Close releases the workload's shared engine backend (worker pool).
+func (w *PrAE) Close() { w.release() }
 
 // Category returns the taxonomy category of Table III.
 func (w *PrAE) Category() string { return "Neuro|Symbolic" }

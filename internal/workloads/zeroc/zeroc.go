@@ -48,6 +48,7 @@ func (c *Config) defaults() {
 type ZeroC struct {
 	cfg       Config
 	newEngine func() *ops.Engine
+	release   func() // tears down the shared engine backend
 	g         *tensor.RNG
 	ebms      []*nn.CNN        // energy-based model ensemble (one per constituent model)
 	templates []*tensor.Tensor // canonical concept masks for grounding search
@@ -57,7 +58,8 @@ type ZeroC struct {
 func New(cfg Config) *ZeroC {
 	cfg.defaults()
 	g := tensor.NewRNG(cfg.Seed)
-	w := &ZeroC{cfg: cfg, newEngine: cfg.Engine.Factory(), g: g}
+	newEngine, release := cfg.Engine.Factory()
+	w := &ZeroC{cfg: cfg, newEngine: newEngine, release: release, g: g}
 	for i := 0; i < cfg.Ensemble; i++ {
 		w.ebms = append(w.ebms, nn.NewCNN(g, fmt.Sprintf("zeroc.ebm%d", i),
 			nn.CNNConfig{InChannels: 1, InSize: cfg.ImgSize, Channels: []int{8, 16}, Residual: true, OutDim: 1}))
@@ -72,6 +74,9 @@ func New(cfg Config) *ZeroC {
 
 // Name implements the workload identity.
 func (w *ZeroC) Name() string { return "ZeroC" }
+
+// Close releases the workload's shared engine backend (worker pool).
+func (w *ZeroC) Close() { w.release() }
 
 // Category returns the taxonomy category of Table III.
 func (w *ZeroC) Category() string { return "Neuro[Symbolic]" }
