@@ -15,6 +15,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	device := flag.String("device", hwsim.RTX2080Ti.Name, "reference device for roofline and Table IV")
 	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
@@ -33,9 +35,36 @@ func main() {
 	if err := eng.Validate(); err != nil {
 		fatal(err)
 	}
-	if err := run(*experiment, dev, eng); err != nil {
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		metrics.NewGoCollector(reg)
+	}
+	if err := run(*experiment, dev, eng, reg); err != nil {
 		fatal(err)
 	}
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpMetrics writes the registry's Prometheus exposition to path ("-"
+// selects stderr, keeping stdout clean for the experiment tables).
+func dumpMetrics(reg *metrics.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteProm(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {
@@ -44,11 +73,16 @@ func fatal(err error) {
 }
 
 // run dispatches one experiment (or all of them). All characterization
-// runs borrow engines from one shared backend pool, torn down on return.
-func run(experiment string, dev hwsim.Device, eng ops.Config) error {
+// runs borrow engines from one shared backend pool, torn down on return;
+// a non-nil reg observes the pool and every operator executed on it.
+func run(experiment string, dev hwsim.Device, eng ops.Config, reg *metrics.Registry) error {
 	needSuite := map[string]bool{"fig2a": true, "fig3a": true, "fig3b": true, "fig3c": true, "fig4": true, "all": true}
 	pool := eng.NewPool()
 	defer pool.Close()
+	if reg != nil {
+		ops.RegisterPoolMetrics(reg, pool)
+		pool.SetObserver(ops.NewOpObserver(reg))
+	}
 	opts := core.Options{Engine: eng, Pool: pool}
 
 	var reports []*core.Report

@@ -17,6 +17,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/trace"
 )
@@ -30,6 +31,7 @@ func main() {
 	chromeOut := flag.String("chrome-trace", "", "write a chrome://tracing / Perfetto timeline to this file")
 	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
@@ -46,11 +48,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "profiling %s on the %s backend...\n", w.Name(), *backendName)
 	pool := eng.NewPool()
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		metrics.NewGoCollector(reg)
+		ops.RegisterPoolMetrics(reg, pool)
+		pool.SetObserver(ops.NewOpObserver(reg))
+	}
 	r, err := core.Characterize(w, core.Options{Device: dev, Engine: eng, Pool: pool})
 	core.CloseWorkload(w)
 	pool.Close()
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("workload: %s (%s)\n", r.Name, r.Category)
@@ -105,6 +119,15 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "chrome trace written to", *chromeOut)
 	}
+}
+
+// dumpMetrics writes the registry's Prometheus exposition to path ("-"
+// selects stderr, keeping stdout clean for the report).
+func dumpMetrics(reg *metrics.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteProm(os.Stderr)
+	}
+	return writeTo(path, reg.WriteProm)
 }
 
 // writeTo streams an export function into a freshly created file.

@@ -11,6 +11,13 @@
 //	curl localhost:8080/v1/workloads
 //	curl -X POST localhost:8080/v1/characterize -d '{"workload":"NVSA"}'
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics    # Prometheus text exposition
+//	curl localhost:8080/healthz    # load-balancer liveness probe
+//
+// /metrics exposes the full observability surface: per-endpoint request
+// counters and latency histograms, cache hit/miss/eviction counters,
+// queue-depth/in-flight/pool gauges, per-operator timing histograms, and
+// Go runtime samples.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops
 // accepting, in-flight characterizations drain, and the backend worker

@@ -42,6 +42,32 @@ type Backend interface {
 	Close()
 }
 
+// PoolStats is a point-in-time snapshot of a worker pool's dispatch
+// behaviour: how often kernels split, where their chunks ran, and how
+// many workers are busy right now. Counters are cumulative since the
+// backend was constructed.
+type PoolStats struct {
+	// Workers is the pool's dispatch width.
+	Workers int
+	// BusyWorkers is the number of workers executing a chunk right now;
+	// BusyWorkers/Workers is the pool's instantaneous utilization.
+	BusyWorkers int
+	// Splits counts For calls wide enough to split into multiple chunks.
+	Splits uint64
+	// ChunksDispatched counts chunks handed to pool workers.
+	ChunksDispatched uint64
+	// ChunksInline counts fallback chunks run on the calling goroutine
+	// because every worker was busy or the pool was closed — the pool's
+	// saturation signal.
+	ChunksInline uint64
+}
+
+// StatsReporter is implemented by backends that publish pool statistics
+// (Parallel does; Serial has nothing to report).
+type StatsReporter interface {
+	Stats() PoolStats
+}
+
 // chunkBounds returns the half-open range of chunk c when [0, n) is split
 // into chunks even pieces. Boundaries are a pure function of its inputs,
 // which is what makes parallel execution reproducible.

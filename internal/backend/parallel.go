@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallel dispatches kernel chunks across a bounded pool of worker
@@ -18,6 +19,14 @@ import (
 type Parallel struct {
 	workers int
 	scratch scratchPool
+
+	// Dispatch statistics (see PoolStats). Updated with one atomic add
+	// per For call plus one busy inc/dec per worker-executed chunk, so
+	// keeping them always-on costs nanoseconds against kernel work.
+	splits     atomic.Uint64
+	dispatched atomic.Uint64
+	inline     atomic.Uint64
+	busy       atomic.Int64
 
 	start sync.Once
 	wg    sync.WaitGroup // running worker goroutines
@@ -64,6 +73,7 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 		return
 	}
 	p.start.Do(p.startWorkers)
+	p.splits.Add(1)
 	var wg sync.WaitGroup
 	wg.Add(chunks - 1)
 	// Hand chunks to the pool; if every worker is busy (e.g. a misbehaving
@@ -89,12 +99,28 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 		}
 	}
 	p.mu.RUnlock()
+	p.dispatched.Add(uint64(chunks - 1 - len(inline)))
+	if len(inline) > 0 {
+		p.inline.Add(uint64(len(inline)))
+	}
 	for _, task := range inline {
 		task()
 	}
 	lo, hi := chunkBounds(n, chunks, 0)
 	fn(lo, hi)
 	wg.Wait()
+}
+
+// Stats snapshots the pool's dispatch statistics. Counters are read
+// individually, so a snapshot under load is approximate.
+func (p *Parallel) Stats() PoolStats {
+	return PoolStats{
+		Workers:          p.workers,
+		BusyWorkers:      int(p.busy.Load()),
+		Splits:           p.splits.Load(),
+		ChunksDispatched: p.dispatched.Load(),
+		ChunksInline:     p.inline.Load(),
+	}
 }
 
 // startWorkers spawns the bounded worker pool. The task channel is
@@ -117,7 +143,9 @@ func (p *Parallel) startWorkers() {
 		go func() {
 			defer p.wg.Done()
 			for task := range tasks {
+				p.busy.Add(1)
 				task()
+				p.busy.Add(-1)
 			}
 		}()
 	}

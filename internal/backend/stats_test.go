@@ -1,0 +1,86 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParallelStatsCountDispatch(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+
+	// Too narrow to split: no stats movement.
+	p.For(3, 100, func(lo, hi int) {})
+	if s := p.Stats(); s.Splits != 0 || s.ChunksDispatched != 0 || s.ChunksInline != 0 {
+		t.Fatalf("narrow dispatch moved stats: %+v", s)
+	}
+
+	// Wide dispatch: one split, chunks-1 chunks leave the caller (to the
+	// pool or, if workers are momentarily busy, inline).
+	p.For(1<<14, 1, func(lo, hi int) {})
+	s := p.Stats()
+	if s.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", s.Workers)
+	}
+	if s.Splits != 1 {
+		t.Fatalf("splits = %d, want 1", s.Splits)
+	}
+	if s.ChunksDispatched+s.ChunksInline != 3 {
+		t.Fatalf("dispatched %d + inline %d != 3 off-caller chunks", s.ChunksDispatched, s.ChunksInline)
+	}
+	// Workers decrement busy just after completing their chunk, which can
+	// land a hair after For returns — poll briefly instead of asserting
+	// instantaneously.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().BusyWorkers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("busy workers stuck at %d, want 0", p.Stats().BusyWorkers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestParallelStatsInlineAfterClose(t *testing.T) {
+	p := NewParallel(2)
+	p.For(1<<12, 1, func(lo, hi int) {}) // spawn the pool
+	p.Close()
+	before := p.Stats()
+	p.For(1<<12, 1, func(lo, hi int) {}) // all off-caller chunks fall back inline
+	after := p.Stats()
+	if after.ChunksDispatched != before.ChunksDispatched {
+		t.Fatalf("chunks dispatched to a closed pool: %+v -> %+v", before, after)
+	}
+	if after.ChunksInline != before.ChunksInline+1 {
+		t.Fatalf("inline fallback not counted: %+v -> %+v", before, after)
+	}
+}
+
+// TestParallelStatsRace pounds Stats against concurrent dispatch; under
+// -race this proves the counters are safely readable while kernels run.
+func TestParallelStatsRace(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Stats()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		p.For(1<<12, 1, func(lo, hi int) {})
+	}
+	close(stop)
+	wg.Wait()
+	if s := p.Stats(); s.Splits != 50 {
+		t.Fatalf("splits = %d, want 50", s.Splits)
+	}
+}

@@ -111,6 +111,11 @@ type Options struct {
 	// only borrows engines. Long-lived callers (servers, sweeps) set this
 	// so repeated characterizations reuse one worker pool.
 	Pool *ops.Pool
+	// Observer, when non-nil, sees every operator event live as the run
+	// records it (e.g. streaming into a metrics registry). It overrides
+	// any observer the Pool installs and must be safe for concurrent use
+	// (workloads fork engines).
+	Observer trace.Observer
 }
 
 func (o *Options) defaults() {
@@ -138,11 +143,18 @@ func Characterize(w Workload, opts Options) (*Report, error) {
 // engine from the shared Pool (release is a no-op — the pool owner closes
 // the backend), or a private engine whose backend the release tears down.
 func (o *Options) engine() (*ops.Engine, func()) {
+	var e *ops.Engine
+	release := func() {}
 	if o.Pool != nil {
-		return o.Pool.Engine(), func() {}
+		e = o.Pool.Engine()
+	} else {
+		e = o.Engine.New()
+		release = e.Close
 	}
-	e := o.Engine.New()
-	return e, e.Close
+	if o.Observer != nil {
+		e.SetObserver(o.Observer)
+	}
+	return e, release
 }
 
 // CloseWorkload releases any shared engine backend a workload holds for

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is the JSON exposition form of a registry: every family with
+// its resolved children, in the same deterministic order as WriteProm.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    string           `json:"kind"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one child. Counters and gauges fill Value; histograms
+// fill Count/Sum/Buckets (bucket counts are cumulative, Prometheus-style;
+// bounds are formatted as strings so +Inf survives JSON).
+type MetricSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures the registry. Collectors run first. Like WriteProm,
+// values are read lock-free, so a snapshot under load is approximate
+// across metrics but internally consistent per histogram.
+func (r *Registry) Snapshot() Snapshot {
+	r.runCollectors()
+	r.mu.RLock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.RUnlock()
+
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		f.mu.RLock()
+		children := make([]*child, len(f.order))
+		copy(children, f.order)
+		f.mu.RUnlock()
+		if len(children) == 0 {
+			continue
+		}
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, c := range children {
+			m := MetricSnapshot{}
+			if len(f.labels) > 0 {
+				m.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					m.Labels[l] = c.values[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				v := float64(c.ctr.Value())
+				m.Value = &v
+			case KindGauge:
+				v := c.gauge.Value()
+				m.Value = &v
+			case KindHistogram:
+				h := c.hist
+				counts := h.counts()
+				var cum uint64
+				m.Buckets = make([]BucketSnapshot, 0, len(counts))
+				for i, bound := range h.bounds {
+					cum += counts[i]
+					m.Buckets = append(m.Buckets, BucketSnapshot{LE: formatFloat(bound), Count: cum})
+				}
+				cum += counts[len(counts)-1]
+				m.Buckets = append(m.Buckets, BucketSnapshot{LE: "+Inf", Count: cum})
+				count := cum
+				sum := h.Sum()
+				m.Count = &count
+				m.Sum = &sum
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot form.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.Snapshot())
+}

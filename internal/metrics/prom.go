@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// PromContentType is the Content-Type of the text exposition format
+// written by WriteProm.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes every family in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE line per family, one sample line
+// per child, and the cumulative _bucket/_sum/_count expansion for
+// histograms. Collectors run first, so sampled metrics are fresh. Output
+// order is deterministic (registration then creation order).
+//
+// Samples are read lock-free while writers keep updating, so one scrape
+// is not a consistent cut across metrics; within a histogram, _count is
+// derived from the same bucket reads it is exposed with, preserving the
+// le="+Inf" == _count invariant scrapers check.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.runCollectors()
+	r.mu.RLock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeProm(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeProm(w *bufio.Writer) {
+	f.mu.RLock()
+	children := make([]*child, len(f.order))
+	copy(children, f.order)
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		writeEscaped(w, f.help, false)
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	for _, c := range children {
+		switch f.kind {
+		case KindCounter:
+			writeSample(w, f.name, "", f.labels, c.values, "", formatUint(c.ctr.Value()))
+		case KindGauge:
+			writeSample(w, f.name, "", f.labels, c.values, "", formatFloat(c.gauge.Value()))
+		case KindHistogram:
+			h := c.hist
+			counts := h.counts()
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				writeSample(w, f.name, "_bucket", f.labels, c.values, formatFloat(bound), formatUint(cum))
+			}
+			cum += counts[len(counts)-1]
+			writeSample(w, f.name, "_bucket", f.labels, c.values, "+Inf", formatUint(cum))
+			writeSample(w, f.name, "_sum", f.labels, c.values, "", formatFloat(h.Sum()))
+			writeSample(w, f.name, "_count", f.labels, c.values, "", formatUint(cum))
+		}
+	}
+}
+
+// writeSample emits one `name{labels} value` line. le, when non-empty, is
+// appended as the trailing bucket label.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			writeEscaped(w, values[i], true)
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// writeEscaped applies the exposition-format escapes: backslash and
+// newline everywhere, plus double quotes inside label values.
+func writeEscaped(w *bufio.Writer, s string, quoted bool) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '"':
+			if quoted {
+				w.WriteString(`\"`)
+			} else {
+				w.WriteByte(c)
+			}
+		default:
+			w.WriteByte(c)
+		}
+	}
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -31,6 +31,10 @@ type Engine struct {
 	// feed the sparsity analysis enable it explicitly.
 	measureSparsity bool
 	sparsityEps     float32
+
+	// observer, when set, sees every event as it is recorded (live
+	// metrics). It must be concurrency-safe: forked engines share it.
+	observer trace.Observer
 }
 
 // New returns an engine recording into a fresh trace, starting in the
@@ -71,6 +75,7 @@ func (e *Engine) Fork(n int) []*Engine {
 			stage:           e.stage,
 			measureSparsity: e.measureSparsity,
 			sparsityEps:     e.sparsityEps,
+			observer:        e.observer,
 		}
 	}
 	return kids
@@ -88,6 +93,10 @@ func (e *Engine) Join(kids ...*Engine) {
 	}
 	e.tr.Merge(parts...)
 }
+
+// SetObserver installs (or, with nil, removes) a live event observer.
+// The observer must be safe for concurrent use if the engine is forked.
+func (e *Engine) SetObserver(fn trace.Observer) { e.observer = fn }
 
 // SetPhase switches the active phase; subsequent events carry it.
 func (e *Engine) SetPhase(p trace.Phase) { e.phase = p }
@@ -184,6 +193,9 @@ func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
 		ev.Sparsity = outs[0].Sparsity(e.sparsityEps)
 	}
 	e.tr.Append(ev)
+	if e.observer != nil {
+		e.observer(&ev)
+	}
 	return outs
 }
 

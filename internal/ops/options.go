@@ -3,8 +3,10 @@ package ops
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/neurosym/nsbench/internal/backend"
+	"github.com/neurosym/nsbench/internal/trace"
 )
 
 // Backend names accepted by Config and the CLI -backend flag.
@@ -37,6 +39,12 @@ func WithParallelism(n int) Option {
 		}
 		e.be = backend.NewParallel(n)
 	}
+}
+
+// WithObserver installs a live event observer on the engine (see
+// Engine.SetObserver). Passing nil leaves the engine unobserved.
+func WithObserver(fn trace.Observer) Option {
+	return func(e *Engine) { e.observer = fn }
 }
 
 // Config names an execution backend in the plain-data form carried by
@@ -85,12 +93,34 @@ func (c Config) Factory() (newEngine func() *Engine, release func()) {
 type Pool struct {
 	be   backend.Backend
 	once sync.Once
+	// observer, when set, is installed on every engine the pool hands
+	// out, so every run through a shared pool feeds the same live
+	// metrics sink.
+	observer atomic.Pointer[trace.Observer]
+}
+
+// SetObserver installs a live event observer on all engines the pool
+// creates from now on (see Engine.SetObserver for the concurrency
+// contract). Typically called once at service startup, right after
+// NewPool.
+func (p *Pool) SetObserver(fn trace.Observer) {
+	if fn == nil {
+		p.observer.Store(nil)
+		return
+	}
+	p.observer.Store(&fn)
 }
 
 // Engine returns a fresh engine recording into a fresh trace on the pool's
 // shared backend. Do not Close the returned engine — the backend belongs
 // to the pool; dropping the engine is enough.
-func (p *Pool) Engine() *Engine { return New(WithBackend(p.be)) }
+func (p *Pool) Engine() *Engine {
+	e := New(WithBackend(p.be))
+	if fn := p.observer.Load(); fn != nil {
+		e.observer = *fn
+	}
+	return e
+}
 
 // Backend exposes the shared backend (e.g. for Workers() introspection).
 func (p *Pool) Backend() backend.Backend { return p.be }

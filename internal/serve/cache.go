@@ -11,6 +11,10 @@ type lru struct {
 	capacity int
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
+	// onEvict, when set, observes each capacity eviction (metrics). It is
+	// called with the evicted key while the cache's owner holds its lock,
+	// so it must not re-enter the cache.
+	onEvict func(key string)
 }
 
 // lruEntry is one cached (key, report bytes) pair.
@@ -51,7 +55,11 @@ func (c *lru) Put(key string, val []byte) {
 	if c.order.Len() >= c.capacity {
 		tail := c.order.Back()
 		c.order.Remove(tail)
-		delete(c.items, tail.Value.(*lruEntry).key)
+		evicted := tail.Value.(*lruEntry).key
+		delete(c.items, evicted)
+		if c.onEvict != nil {
+			c.onEvict(evicted)
+		}
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
 }

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestLRUEvictionOrder fills a cache beyond capacity and checks that
+// evictions happen strictly in least-recently-used order, counting Get
+// as a use.
+func TestLRUEvictionOrder(t *testing.T) {
+	var evicted []string
+	c := newLRU(3)
+	c.onEvict = func(key string) { evicted = append(evicted, key) }
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	c.Get("a")              // order now (MRU→LRU): a c b
+	c.Put("d", []byte("4")) // evicts b
+	c.Get("c")              // order: c d a
+	c.Put("e", []byte("5")) // evicts a
+	c.Put("f", []byte("6")) // evicts d
+
+	want := []string{"b", "a", "d"}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("eviction order %v, want %v", evicted, want)
+		}
+	}
+	for _, key := range []string{"c", "e", "f"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s missing from cache", key)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+// TestLRUCapacityOne: the degenerate cache holds exactly the last Put.
+func TestLRUCapacityOne(t *testing.T) {
+	c := newLRU(1)
+	evictions := 0
+	c.onEvict = func(string) { evictions++ }
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("single entry not retrievable")
+	}
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if v, ok := c.Get("b"); !ok || !bytes.Equal(v, []byte("2")) {
+		t.Fatal("newest entry lost")
+	}
+	// Refreshing the resident key must not evict.
+	c.Put("b", []byte("2'"))
+	if v, _ := c.Get("b"); !bytes.Equal(v, []byte("2'")) {
+		t.Fatal("refresh did not update value")
+	}
+	if evictions != 1 || c.Len() != 1 {
+		t.Fatalf("evictions = %d len = %d, want 1 and 1", evictions, c.Len())
+	}
+}
+
+// TestLRURefreshDoesNotEvict: Put on an existing key updates in place.
+func TestLRURefreshDoesNotEvict(t *testing.T) {
+	c := newLRU(2)
+	c.onEvict = func(key string) { t.Fatalf("unexpected eviction of %s", key) }
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("1'"))
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("1'")) {
+		t.Fatal("refresh lost")
+	}
+}
+
+// TestEvictionIncrementsCounter drives the server end to end with a
+// capacity-1 cache and checks the eviction lands in the metrics counter.
+func TestEvictionIncrementsCounter(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{CacheSize: 1})
+	h := s.Handler()
+	if rec := post(h, `{"workload":"testfast"}`); rec.Code != 200 {
+		t.Fatalf("first characterize: %d", rec.Code)
+	}
+	if rec := post(h, `{"workload":"testgate"}`); rec.Code != 200 {
+		t.Fatalf("second characterize: %d", rec.Code)
+	}
+	if got := s.st.evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := s.cache.Len(); got != 1 {
+		t.Fatalf("cache len = %d, want 1", got)
+	}
+}
+
+func BenchmarkLRUPutEvict(b *testing.B) {
+	c := newLRU(64)
+	c.onEvict = func(string) {}
+	val := []byte("report")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), val)
+	}
+}

@@ -17,6 +17,13 @@
 // Every characterization borrows an engine from one shared ops.Pool, so a
 // server process runs one backend worker pool for its whole lifetime and
 // Close tears it down deterministically.
+//
+// The server is fully observable: every serving counter, per-endpoint
+// request/latency histogram, cache/queue/pool gauge, per-operator timing,
+// and Go runtime sample lives in one metrics.Registry, scraped at
+// /metrics (Prometheus text format). /v1/stats remains the legacy JSON
+// view over the same counters, and /healthz answers load-balancer
+// liveness probes.
 package serve
 
 import (
@@ -24,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +39,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
 )
 
@@ -51,6 +60,10 @@ type Config struct {
 	// RequestTimeout caps how long a request waits for its report
 	// (queueing included); 0 selects 60s.
 	RequestTimeout time.Duration
+	// Metrics, when non-nil, is the registry the server publishes into;
+	// nil gives the server a private registry. Share one registry when a
+	// process embeds several instrumented components behind one /metrics.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) defaults() {
@@ -154,7 +167,11 @@ type Server struct {
 	workloadsJSON []byte
 	workloadsErr  error
 
-	st        stats
+	reg      *metrics.Registry
+	st       stats
+	httpReqs *metrics.CounterVec   // nsserve_http_requests_total{endpoint,code}
+	httpLat  *metrics.HistogramVec // nsserve_http_request_seconds{endpoint}
+
 	closeOnce sync.Once
 }
 
@@ -166,13 +183,37 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg.defaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    cfg.Engine.NewPool(),
 		cache:   newLRU(cfg.CacheSize),
 		flights: make(map[string]*flight),
 		queue:   make(chan *flight, cfg.QueueDepth),
+		reg:     reg,
+		st:      newStats(reg),
+		httpReqs: reg.CounterVec("nsserve_http_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		httpLat: reg.HistogramVec("nsserve_http_request_seconds",
+			"HTTP request latency by endpoint.", metrics.LatencyBuckets(), "endpoint"),
 	}
+	s.cache.onEvict = func(string) { s.st.evictions.Inc() }
+	reg.GaugeFunc("nsserve_queue_depth", "Characterizations waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("nsserve_cache_entries", "Reports currently held by the LRU cache.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.Len())
+		})
+	metrics.NewGoCollector(reg)
+	ops.RegisterPoolMetrics(reg, s.pool)
+	// Stream per-operator timings from every characterization into the
+	// registry: the live form of the paper's operator breakdown.
+	s.pool.SetObserver(ops.NewOpObserver(reg))
 	s.wg.Add(cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
 		go s.worker()
@@ -180,13 +221,86 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's route table.
+// Metrics returns the server's registry (e.g. to add process-level
+// metrics before exposing the handler).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the server's route table. Every endpoint is
+// instrumented with a request counter (by status code) and a latency
+// histogram, both visible at /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("/v1/characterize", s.handleCharacterize)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	return mux
+}
+
+// instrument wraps h with per-endpoint request/latency metrics. The
+// latency child is resolved once here; only the (endpoint, code) counter
+// pays a labeled lookup per request, after the response is written.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.httpLat.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.ObserveSeconds(time.Since(start).Nanoseconds())
+		s.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// allowMethods gates r to the listed methods. On a mismatch it answers
+// 405 with the Allow header RFC 9110 §15.5.6 requires and reports false.
+func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// handleMetrics exposes the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	s.reg.WriteProm(w)
+}
+
+// handleHealthz is the load-balancer liveness probe: a cheap 200 that
+// proves the process is accepting connections and routing requests. It
+// deliberately checks nothing deeper — readiness concerns (queue
+// saturation) already surface as 429s on the serving path.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // Close drains the admission queue and tears down the characterization
@@ -209,8 +323,7 @@ func (s *Server) Close() {
 // categories. The list is built once: workload construction is heavyweight
 // (codebooks, weights), and the registry is fixed at init time.
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowMethods(w, r, http.MethodGet) {
 		return
 	}
 	s.workloadsOnce.Do(func() {
@@ -239,8 +352,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports the operational counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowMethods(w, r, http.MethodGet) {
 		return
 	}
 	snap := s.st.snapshot()
@@ -259,11 +371,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleCharacterize is the serving hot path: canonicalize, cache lookup,
 // singleflight join-or-lead, bounded admission, wait with deadline.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
-	s.st.requests.Add(1)
+	s.st.requests.Inc()
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
@@ -278,12 +389,12 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if b, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
-		s.st.cacheHits.Add(1)
+		s.st.cacheHits.Inc()
 		w.Header().Set("X-NSServe-Cache", "hit")
 		writeJSON(w, b)
 		return
 	}
-	s.st.cacheMiss.Add(1)
+	s.st.cacheMiss.Inc()
 	if s.shutdown {
 		s.mu.Unlock()
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
@@ -291,7 +402,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	f, joined := s.flights[key]
 	if joined {
-		s.st.dedupJoins.Add(1)
+		s.st.dedupJoins.Inc()
 		f.join()
 	} else {
 		f = &flight{key: key, req: canon, done: make(chan struct{})}
@@ -306,7 +417,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 			s.flights[key] = f
 		default:
 			s.mu.Unlock()
-			s.st.rejected.Add(1)
+			s.st.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "characterization queue is full", http.StatusTooManyRequests)
 			return
@@ -321,11 +432,11 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-f.done:
 	case <-ctx.Done():
-		s.st.timeouts.Add(1)
+		s.st.timeouts.Inc()
 		http.Error(w, "request canceled", statusClientClosed)
 		return
 	case <-timer.C:
-		s.st.timeouts.Add(1)
+		s.st.timeouts.Inc()
 		http.Error(w, "timed out waiting for characterization", http.StatusGatewayTimeout)
 		return
 	}
@@ -367,18 +478,19 @@ func (s *Server) runFlight(f *flight) {
 	// Cancellation at the queue: if every waiter gave up while the flight
 	// sat in the queue, don't burn a worker on a report nobody wants.
 	if f.loadWaiting() == 0 {
-		s.st.abandoned.Add(1)
+		s.st.abandoned.Inc()
 		f.err = errors.New("abandoned: all waiters left the queue")
 		f.code = http.StatusServiceUnavailable
 		s.finish(f, false)
 		return
 	}
+	s.st.inflight.Inc()
 	start := time.Now()
 	res, err := s.characterize(f.req)
-	s.st.runs.Add(1)
-	s.st.runNanos.Add(time.Since(start).Nanoseconds())
+	s.st.recordRun(time.Since(start))
+	s.st.inflight.Dec()
 	if err != nil {
-		s.st.failures.Add(1)
+		s.st.failures.Inc()
 		f.err = err
 		s.finish(f, false)
 		return

@@ -143,7 +143,7 @@ func TestCacheHitIsByteIdentical(t *testing.T) {
 	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
 		t.Fatal("cache hit is not byte-identical to the miss")
 	}
-	if hits := s.st.cacheHits.Load(); hits != 1 {
+	if hits := s.st.cacheHits.Value(); hits != 1 {
 		t.Fatalf("cache hits = %d, want 1", hits)
 	}
 	if runs := testCtl.runs.Load(); runs != 1 {
@@ -211,7 +211,7 @@ func TestSingleflightDeduplicates(t *testing.T) {
 	}
 	// The leader is executing (gated); the other n-1 must join its flight.
 	waitFor(t, "worker entry", func() bool { return len(testCtl.entered) >= 1 })
-	waitFor(t, "dedup joins", func() bool { return s.st.dedupJoins.Load() == n-1 })
+	waitFor(t, "dedup joins", func() bool { return s.st.dedupJoins.Value() == n-1 })
 	openGate()
 	wg.Wait()
 
@@ -226,7 +226,7 @@ func TestSingleflightDeduplicates(t *testing.T) {
 	if runs := testCtl.runs.Load(); runs != 1 {
 		t.Fatalf("%d concurrent identical requests ran the workload %d times, want exactly 1", n, runs)
 	}
-	if got := s.st.runs.Load(); got != 1 {
+	if got := s.st.runs.Value(); got != 1 {
 		t.Fatalf("server executed %d runs, want 1", got)
 	}
 }
@@ -256,7 +256,7 @@ func TestFullQueueRejectsWith429(t *testing.T) {
 	if rejected.Header().Get("Retry-After") == "" {
 		t.Fatal("429 response is missing Retry-After")
 	}
-	if got := s.st.rejected.Load(); got != 1 {
+	if got := s.st.rejected.Value(); got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 
@@ -292,7 +292,7 @@ func TestAbandonedQueuedWorkIsDropped(t *testing.T) {
 	go func() { defer wg.Done(); h.ServeHTTP(rec, req) }()
 	waitFor(t, "second request queued", func() bool { return len(s.queue) == 1 })
 	cancel()
-	waitFor(t, "waiter departure", func() bool { return s.st.timeouts.Load() == 1 })
+	waitFor(t, "waiter departure", func() bool { return s.st.timeouts.Value() == 1 })
 
 	openGate()
 	wg.Wait()
@@ -302,8 +302,8 @@ func TestAbandonedQueuedWorkIsDropped(t *testing.T) {
 	if rec.Code != statusClientClosed {
 		t.Fatalf("canceled request: %d, want %d", rec.Code, statusClientClosed)
 	}
-	waitFor(t, "queued work dropped", func() bool { return s.st.abandoned.Load() == 1 })
-	if runs := s.st.runs.Load(); runs != 1 {
+	waitFor(t, "queued work dropped", func() bool { return s.st.abandoned.Value() == 1 })
+	if runs := s.st.runs.Value(); runs != 1 {
 		t.Fatalf("server executed %d runs, want 1 (abandoned work must not run)", runs)
 	}
 }
@@ -345,7 +345,7 @@ func TestCloseDrainsInFlightWork(t *testing.T) {
 			t.Fatalf("request %d after drain: %d %s", i, rec.Code, rec.Body)
 		}
 	}
-	if runs := s.st.runs.Load(); runs != 2 {
+	if runs := s.st.runs.Value(); runs != 2 {
 		t.Fatalf("drained runs = %d, want 2", runs)
 	}
 	// New (uncached) work after shutdown is refused, not queued. Cached

@@ -1,20 +1,62 @@
 package serve
 
-import "sync/atomic"
+import (
+	"time"
 
-// stats holds the server's atomic counters. Handlers and workers update
-// them lock-free; /v1/stats reads a snapshot.
+	"github.com/neurosym/nsbench/internal/metrics"
+)
+
+// stats is a thin view over the server's metrics registry: one shared set
+// of counters backs both the legacy /v1/stats JSON (this struct renders
+// it) and the Prometheus /metrics exposition. Handlers and workers update
+// the counters lock-free.
 type stats struct {
-	requests   atomic.Int64 // characterize requests received
-	cacheHits  atomic.Int64 // served straight from the LRU
-	cacheMiss  atomic.Int64 // not in cache on arrival
-	dedupJoins atomic.Int64 // requests that joined an in-flight run
-	rejected   atomic.Int64 // 429s from a full admission queue
-	timeouts   atomic.Int64 // waiters that gave up (deadline/cancel)
-	abandoned  atomic.Int64 // queued runs dropped: every waiter had left
-	failures   atomic.Int64 // characterizations that returned an error
-	runs       atomic.Int64 // characterizations actually executed
-	runNanos   atomic.Int64 // total wall time spent executing runs
+	requests   *metrics.Counter // characterize requests received
+	cacheHits  *metrics.Counter // served straight from the LRU
+	cacheMiss  *metrics.Counter // not in cache on arrival
+	evictions  *metrics.Counter // reports evicted from a full LRU
+	dedupJoins *metrics.Counter // requests that joined an in-flight run
+	rejected   *metrics.Counter // 429s from a full admission queue
+	timeouts   *metrics.Counter // waiters that gave up (deadline/cancel)
+	abandoned  *metrics.Counter // queued runs dropped: every waiter had left
+	failures   *metrics.Counter // characterizations that returned an error
+	runs       *metrics.Counter // characterizations actually executed
+	runNanos   *metrics.Counter // total wall time spent executing runs
+
+	// runSeconds is the latency distribution of the runs counted above —
+	// the histogram form /metrics scrapes for quantiles.
+	runSeconds *metrics.Histogram
+	// inflight gauges the characterizations executing right now.
+	inflight *metrics.Gauge
+}
+
+// newStats registers the serving counters in reg.
+func newStats(reg *metrics.Registry) stats {
+	return stats{
+		requests:   reg.Counter("nsserve_requests_total", "Characterize requests received."),
+		cacheHits:  reg.Counter("nsserve_cache_hits_total", "Requests served straight from the report cache."),
+		cacheMiss:  reg.Counter("nsserve_cache_misses_total", "Requests that missed the report cache."),
+		evictions:  reg.Counter("nsserve_cache_evictions_total", "Reports evicted from the full LRU cache."),
+		dedupJoins: reg.Counter("nsserve_dedup_joins_total", "Requests that joined an identical in-flight run."),
+		rejected:   reg.Counter("nsserve_rejected_total", "Requests rejected with 429 by the full admission queue."),
+		timeouts:   reg.Counter("nsserve_timeouts_total", "Waiters that gave up on a run (deadline or disconnect)."),
+		abandoned:  reg.Counter("nsserve_abandoned_total", "Queued runs dropped because every waiter had left."),
+		failures:   reg.Counter("nsserve_failures_total", "Characterizations that returned an error."),
+		runs:       reg.Counter("nsserve_runs_total", "Characterizations actually executed."),
+		runNanos:   reg.Counter("nsserve_run_nanos_total", "Total wall time spent executing characterizations, in nanoseconds."),
+		runSeconds: reg.Histogram("nsserve_run_seconds", "Characterization execution latency.", metrics.LatencyBuckets()),
+		inflight:   reg.Gauge("nsserve_inflight_runs", "Characterizations executing right now."),
+	}
+}
+
+// recordRun accounts one executed characterization. Nanos is added
+// *before* the run counter so the (runs, runNanos) pair keeps the
+// invariant snapshot relies on: every run visible in the counter already
+// has its duration in the total.
+func (s *stats) recordRun(d time.Duration) {
+	s.runNanos.Add(uint64(d.Nanoseconds()))
+	s.runSeconds.ObserveSeconds(d.Nanoseconds())
+	s.runs.Inc()
 }
 
 // Snapshot is the exported /v1/stats form.
@@ -37,19 +79,26 @@ type Snapshot struct {
 }
 
 // snapshot reads every counter once. Counters are read individually, so a
-// snapshot taken under load is approximate — fine for monitoring.
+// snapshot taken under load is approximate — fine for monitoring — with
+// one deliberate ordering: Runs is read *before* RunNanos while writers
+// update nanos before runs (recordRun), so the nanos total always covers
+// at least the runs counted and AvgRunNanos can only over-approximate
+// (by the runs that completed between the two loads), never report an
+// impossibly low average from a torn read.
 func (s *stats) snapshot() Snapshot {
+	runs := int64(s.runs.Value())
+	nanos := int64(s.runNanos.Value())
 	out := Snapshot{
-		Requests:   s.requests.Load(),
-		CacheHits:  s.cacheHits.Load(),
-		CacheMiss:  s.cacheMiss.Load(),
-		DedupJoins: s.dedupJoins.Load(),
-		Rejected:   s.rejected.Load(),
-		Timeouts:   s.timeouts.Load(),
-		Abandoned:  s.abandoned.Load(),
-		Failures:   s.failures.Load(),
-		Runs:       s.runs.Load(),
-		RunNanos:   s.runNanos.Load(),
+		Requests:   int64(s.requests.Value()),
+		CacheHits:  int64(s.cacheHits.Value()),
+		CacheMiss:  int64(s.cacheMiss.Value()),
+		DedupJoins: int64(s.dedupJoins.Value()),
+		Rejected:   int64(s.rejected.Value()),
+		Timeouts:   int64(s.timeouts.Value()),
+		Abandoned:  int64(s.abandoned.Value()),
+		Failures:   int64(s.failures.Value()),
+		Runs:       runs,
+		RunNanos:   nanos,
 	}
 	if out.Runs > 0 {
 		out.AvgRunNanos = out.RunNanos / out.Runs

@@ -96,6 +96,14 @@ type Event struct {
 	Outputs  []uint64      // tensor IDs produced
 }
 
+// Observer is a hook invoked with each event as it is recorded, so a
+// characterization run can be observed live (e.g. streamed into a
+// metrics registry) instead of only analyzed post-hoc. The event pointer
+// is only valid for the duration of the call. Observers run on whatever
+// goroutine records the event — forked engines record concurrently — so
+// implementations must be safe for concurrent use.
+type Observer func(ev *Event)
+
 // ArithmeticIntensity returns the event's FLOPs per byte (0 if no traffic).
 func (e *Event) ArithmeticIntensity() float64 {
 	if e.Bytes == 0 {
