@@ -17,6 +17,7 @@ import (
 	"github.com/neurosym/nsbench/internal/hwsim"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
+	chromeTrace := flag.String("chrome-trace", "", "write the suite's merged operator timeline (Chrome trace-event JSON, loadable in Perfetto) to this file; needs a suite experiment (fig2a/fig3*/fig4/all)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
@@ -40,7 +42,7 @@ func main() {
 		reg = metrics.NewRegistry()
 		metrics.NewGoCollector(reg)
 	}
-	if err := run(*experiment, dev, eng, reg); err != nil {
+	if err := run(*experiment, dev, eng, reg, *chromeTrace); err != nil {
 		fatal(err)
 	}
 	if reg != nil {
@@ -72,11 +74,42 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// writeChromeTrace merges the suite reports' traces into one timeline and
+// writes it as Chrome trace-event JSON. Each workload's events keep their
+// wall-clock timestamps, so the merged view shows the suite end to end.
+func writeChromeTrace(path string, reports []*core.Report) error {
+	combined := trace.New()
+	parts := make([]*trace.Trace, 0, len(reports))
+	for _, r := range reports {
+		if r != nil && r.Trace != nil {
+			parts = append(parts, r.Trace)
+		}
+	}
+	combined.Merge(parts...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := combined.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nsbench: wrote chrome trace to %s (open in https://ui.perfetto.dev)\n", path)
+	return nil
+}
+
 // run dispatches one experiment (or all of them). All characterization
 // runs borrow engines from one shared backend pool, torn down on return;
-// a non-nil reg observes the pool and every operator executed on it.
-func run(experiment string, dev hwsim.Device, eng ops.Config, reg *metrics.Registry) error {
+// a non-nil reg observes the pool and every operator executed on it. A
+// non-empty chromeTrace writes the suite's merged timeline there.
+func run(experiment string, dev hwsim.Device, eng ops.Config, reg *metrics.Registry, chromeTrace string) error {
 	needSuite := map[string]bool{"fig2a": true, "fig3a": true, "fig3b": true, "fig3c": true, "fig4": true, "all": true}
+	if chromeTrace != "" && !needSuite[experiment] {
+		return fmt.Errorf("-chrome-trace needs a suite experiment (fig2a, fig3a, fig3b, fig3c, fig4, all), not %q", experiment)
+	}
 	pool := eng.NewPool()
 	defer pool.Close()
 	if reg != nil {
@@ -92,6 +125,11 @@ func run(experiment string, dev hwsim.Device, eng ops.Config, reg *metrics.Regis
 		reports, err = core.Fig2a(opts)
 		if err != nil {
 			return err
+		}
+		if chromeTrace != "" {
+			if err := writeChromeTrace(chromeTrace, reports); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -14,14 +14,14 @@ func TestRunSingleExperiments(t *testing.T) {
 	// Exercise the cheap experiment paths end-to-end (the heavyweight
 	// figure suite is covered by internal/core tests and the benchmarks).
 	for _, exp := range []string{"tab1", "fig5", "tab4"} {
-		if err := run(exp, hwsim.RTX2080Ti, ops.Config{}, nil); err != nil {
+		if err := run(exp, hwsim.RTX2080Ti, ops.Config{}, nil, ""); err != nil {
 			t.Fatalf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", hwsim.RTX2080Ti, ops.Config{}, nil); err == nil {
+	if err := run("fig99", hwsim.RTX2080Ti, ops.Config{}, nil, ""); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
@@ -31,7 +31,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWithMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	metrics.NewGoCollector(reg)
-	if err := run("tab4", hwsim.RTX2080Ti, ops.Config{}, reg); err != nil {
+	if err := run("tab4", hwsim.RTX2080Ti, ops.Config{}, reg, ""); err != nil {
 		t.Fatalf("run(tab4): %v", err)
 	}
 	var buf bytes.Buffer
@@ -43,5 +43,13 @@ func TestRunWithMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics dump missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestChromeTraceNeedsSuite pins the flag contract: -chrome-trace only
+// makes sense for experiments that run the workload suite.
+func TestChromeTraceNeedsSuite(t *testing.T) {
+	if err := run("tab1", hwsim.RTX2080Ti, ops.Config{}, nil, t.TempDir()+"/t.json"); err == nil {
+		t.Fatal("-chrome-trace with a non-suite experiment must error")
 	}
 }

@@ -13,6 +13,8 @@
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics    # Prometheus text exposition
 //	curl localhost:8080/healthz    # load-balancer liveness probe
+//	curl -o t.json 'localhost:8080/v1/trace?workload=NVSA'  # Perfetto timeline
+//	curl localhost:8080/debug/trace                         # flight recorder
 //
 // /metrics exposes the full observability surface: per-endpoint request
 // counters and latency histograms, cache hit/miss/eviction counters,
@@ -28,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,14 +50,24 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "concurrent characterization workers (0 = default 2)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout incl. queueing (0 = default 60s)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	recorderSize := flag.Int("flight-recorder", 0, "flight-recorder capacity in events (0 = default 512, negative disables)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv, err := serve.New(serve.Config{
 		Engine:         ops.Config{Backend: *backendName, Workers: *workers},
 		CacheSize:      *cacheSize,
 		QueueDepth:     *queueDepth,
 		Concurrency:    *concurrency,
 		RequestTimeout: *timeout,
+		RecorderSize:   *recorderSize,
+		Logger:         logger,
+		Pprof:          *enablePprof,
 	})
 	if err != nil {
 		fatal(err)

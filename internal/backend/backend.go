@@ -68,6 +68,16 @@ type StatsReporter interface {
 	Stats() PoolStats
 }
 
+// WorkerFor is implemented by backends that can attribute each chunk to
+// the worker executing it: worker 0 is the calling goroutine, workers
+// 1..Workers() are pool goroutines. Chunk boundaries follow the same
+// determinism contract as For — only the worker attribution reflects
+// runtime scheduling. Timeline tracers use this to land each chunk on the
+// track of the lane that really ran it.
+type WorkerFor interface {
+	ForWorker(n, grain int, fn func(worker, lo, hi int))
+}
+
 // chunkBounds returns the half-open range of chunk c when [0, n) is split
 // into chunks even pieces. Boundaries are a pure function of its inputs,
 // which is what makes parallel execution reproducible.

@@ -36,9 +36,11 @@ type Parallel struct {
 	// channel is nilled out under the write lock before it is closed, so a
 	// concurrent For can never send on a closed channel — it either sees
 	// the live channel (and Close waits for the dispatch to finish) or nil
-	// (and falls back to inline execution).
+	// (and falls back to inline execution). Each worker goroutine invokes
+	// tasks with its own 1-based index, which is how chunk executions are
+	// attributed to timeline tracks.
 	mu     sync.RWMutex
-	tasks  chan func()
+	tasks  chan func(worker int)
 	closed bool
 }
 
@@ -64,12 +66,21 @@ func (p *Parallel) Workers() int { return p.workers }
 // to call concurrently with Close: chunks that can no longer reach the
 // pool run inline.
 func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
+	p.ForWorker(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForWorker is For with worker attribution: fn additionally receives the
+// index of the lane executing the chunk — 0 for the calling goroutine
+// (chunk 0 and inline fallbacks), 1..Workers() for pool goroutines.
+// Chunk boundaries stay a pure function of (n, grain, workers); only the
+// attribution reflects live scheduling.
+func (p *Parallel) ForWorker(n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	chunks := numChunks(n, grain, p.workers)
 	if chunks <= 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	p.start.Do(p.startWorkers)
@@ -81,14 +92,14 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 	// is guaranteed without unbounded goroutine growth. Inline chunks run
 	// after the read lock is released: holding it across fn would deadlock
 	// a nested For against a concurrent Close waiting for the write lock.
-	var inline []func()
+	var inline []func(worker int)
 	p.mu.RLock()
 	tasks := p.tasks
 	for c := 1; c < chunks; c++ {
 		lo, hi := chunkBounds(n, chunks, c)
-		task := func() {
+		task := func(worker int) {
 			defer wg.Done()
-			fn(lo, hi)
+			fn(worker, lo, hi)
 		}
 		// A nil channel is never ready to send, so a For overlapping Close
 		// degrades to inline execution instead of panicking.
@@ -104,10 +115,10 @@ func (p *Parallel) For(n, grain int, fn func(lo, hi int)) {
 		p.inline.Add(uint64(len(inline)))
 	}
 	for _, task := range inline {
-		task()
+		task(0)
 	}
 	lo, hi := chunkBounds(n, chunks, 0)
-	fn(lo, hi)
+	fn(0, lo, hi)
 	wg.Wait()
 }
 
@@ -136,18 +147,18 @@ func (p *Parallel) startWorkers() {
 		// keeps tasks nil and every dispatch runs inline.
 		return
 	}
-	tasks := make(chan func())
+	tasks := make(chan func(worker int))
 	p.tasks = tasks
 	p.wg.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for task := range tasks {
 				p.busy.Add(1)
-				task()
+				task(worker)
 				p.busy.Add(-1)
 			}
-		}()
+		}(i + 1)
 	}
 }
 

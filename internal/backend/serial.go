@@ -23,6 +23,15 @@ func (Serial) For(n, grain int, fn func(lo, hi int)) {
 	fn(0, n)
 }
 
+// ForWorker runs the whole range as one inline chunk on the calling
+// goroutine (worker 0).
+func (Serial) ForWorker(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, 0, n)
+}
+
 // Scratch returns a pooled buffer with at least n elements.
 func (Serial) Scratch(n int) []float64 { return serialScratch.get(n) }
 

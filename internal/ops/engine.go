@@ -10,6 +10,7 @@
 package ops
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/neurosym/nsbench/internal/backend"
@@ -25,6 +26,14 @@ type Engine struct {
 	be    backend.Backend
 	phase trace.Phase
 	stage string
+
+	// worker is the engine's timeline lane: 0 for the root engine, the
+	// 1-based fork index for children. Every event the engine records
+	// carries it, which is how forked shards land on their own tracks.
+	worker int
+	// kt shims the backend during instrumented ops to record kernel
+	// chunks as worker-attributed timeline spans.
+	kt *kernelTracer
 
 	// measureSparsity controls whether output sparsity is computed for
 	// every event (an O(n) pass over each output). Workload stages that
@@ -47,6 +56,7 @@ func New(opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.kt = newKernelTracer(e.be, 0)
 	return e
 }
 
@@ -65,18 +75,34 @@ func (e *Engine) Close() { e.be.Close() }
 // stage, and sparsity settings but record into private traces, so worker
 // goroutines can record events without racing on the parent trace. Join the
 // children back in a fixed order to keep the merged trace deterministic.
+//
+// Child i records on timeline lane i+1 and its trace is anchored to the
+// parent's epoch, so after Join each child's shard renders on its own
+// worker track of one shared time axis, wrapped in a "fork[i]" span
+// covering the child's whole region.
 func (e *Engine) Fork(n int) []*Engine {
 	kids := make([]*Engine, n)
 	for i := range kids {
-		kids[i] = &Engine{
-			tr:              trace.New(),
+		tr := trace.New()
+		tr.SetEpoch(e.tr.Epoch())
+		k := &Engine{
+			tr:              tr,
 			be:              e.be,
 			phase:           e.phase,
 			stage:           e.stage,
+			worker:          i + 1,
 			measureSparsity: e.measureSparsity,
 			sparsityEps:     e.sparsityEps,
 			observer:        e.observer,
 		}
+		k.kt = newKernelTracer(e.be, k.worker)
+		tr.BeginSpan(trace.Span{
+			Name:   fmt.Sprintf("fork[%d]", i),
+			Kind:   trace.SpanFork,
+			Phase:  e.phase,
+			Worker: k.worker,
+		})
+		kids[i] = k
 	}
 	return kids
 }
@@ -84,15 +110,33 @@ func (e *Engine) Fork(n int) []*Engine {
 // Join appends the children's events to this engine's trace in argument
 // order, renumbering sequence numbers. Passing children in a fixed order
 // (e.g. fork index) makes the merged trace independent of goroutine timing.
+// Any spans a child left open — including the fork span Fork opened — are
+// closed at join time, so the merged timeline always balances.
 func (e *Engine) Join(kids ...*Engine) {
+	now := time.Now()
 	parts := make([]*trace.Trace, len(kids))
 	for i, k := range kids {
 		if k != nil {
+			k.tr.CloseOpenSpans(now)
 			parts[i] = k.tr
 		}
 	}
 	e.tr.Merge(parts...)
 }
+
+// Worker returns the engine's timeline lane (0 for a root engine, the
+// 1-based fork index for children).
+func (e *Engine) Worker() int { return e.worker }
+
+// Begin opens a nested timeline span carrying the engine's current phase
+// and lane; close it with End. Spans are pure timeline annotation — they
+// never contribute to aggregate statistics.
+func (e *Engine) Begin(name string) {
+	e.tr.BeginSpan(trace.Span{Name: name, Phase: e.phase, Worker: e.worker})
+}
+
+// End closes the innermost span opened by Begin/InStage.
+func (e *Engine) End() { e.tr.End() }
 
 // SetObserver installs (or, with nil, removes) a live event observer.
 // The observer must be safe for concurrent use if the engine is forked.
@@ -117,10 +161,16 @@ func (e *Engine) InPhase(p trace.Phase, f func()) {
 func (e *Engine) SetStage(s string) { e.stage = s }
 
 // InStage runs f with the given stage label, restoring the previous one.
+// The stage also becomes a nested timeline span, so every workload stage
+// renders as a named range around its operator events.
 func (e *Engine) InStage(s string, f func()) {
 	old := e.stage
 	e.stage = s
-	defer func() { e.stage = old }()
+	e.tr.BeginSpan(trace.Span{Name: s, Kind: trace.SpanStage, Phase: e.phase, Worker: e.worker})
+	defer func() {
+		e.tr.End()
+		e.stage = old
+	}()
 	f()
 }
 
@@ -157,10 +207,27 @@ type op struct {
 // record times f, derives the event from the op description and the result,
 // and appends it to the trace. run must return the produced tensors (may be
 // empty for side-effect-only operators).
+//
+// For the timeline, record stamps the event's wall-clock start and the
+// engine's lane, and swaps the backend onto the kernel tracer for the
+// duration of run so every split dispatch leaves worker-attributed chunk
+// spans in the trace. The swap is engine-local state, safe because an
+// engine is single-goroutine by contract; it is idempotent for nested
+// records (the tracer simply stays installed).
 func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
+	kt := e.kt
+	prevBE := e.be
+	prevKernel, prevPhase := kt.kernel, kt.phase
+	kt.label(o.kernel, e.phase)
+	e.be = kt
+
 	start := time.Now()
 	outs := run()
 	dur := time.Since(start)
+
+	e.be = prevBE
+	kt.label(prevKernel, prevPhase)
+	kt.drain(e.tr)
 
 	ev := trace.Event{
 		Name:     o.name,
@@ -168,6 +235,8 @@ func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
 		Stage:    e.stage,
 		Category: o.category,
 		Phase:    e.phase,
+		Start:    start,
+		Worker:   e.worker,
 		Dur:      dur,
 		FLOPs:    o.flops,
 		Bytes:    o.bytes,

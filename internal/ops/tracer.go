@@ -1,0 +1,100 @@
+package ops
+
+import (
+	"sync"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/backend"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// kernelTracer is the engine's timeline shim around its execution
+// backend. During an instrumented op, the engine swaps itself onto the
+// tracer, which forwards every kernel dispatch to the real backend and —
+// when the backend can attribute chunks to workers — records each
+// dispatched chunk as a trace.Span on the worker's timeline track. Those
+// chunk spans are what make a parallel-backend Chrome trace visibly
+// overlap where a serial one cannot.
+//
+// Only dispatches that actually split are recorded: a single-chunk For
+// (serial backend, or n below the grain) adds no spans and costs nothing
+// beyond one interface type assertion, so serial timelines stay exactly
+// one op track per phase.
+//
+// The label (kernel name, phase) is written by the engine goroutine
+// between ops; chunk callbacks run concurrently on pool workers, so the
+// span list is mutex-guarded. One lock round per recorded chunk is noise
+// against the ≥32 KFLOP of work a chunk carries by construction.
+type kernelTracer struct {
+	be     backend.Backend
+	worker int // the owning engine's lane, attributed to caller-run chunks
+
+	kernel string
+	phase  trace.Phase
+
+	mu    sync.Mutex
+	spans []trace.Span
+}
+
+func newKernelTracer(be backend.Backend, worker int) *kernelTracer {
+	return &kernelTracer{be: be, worker: worker}
+}
+
+// label names the op the next dispatches belong to. Engine goroutine only.
+func (k *kernelTracer) label(kernel string, phase trace.Phase) {
+	k.kernel, k.phase = kernel, phase
+}
+
+// For forwards the dispatch, recording per-chunk spans when the backend
+// reports worker attribution and the dispatch splits.
+func (k *kernelTracer) For(n, grain int, fn func(lo, hi int)) {
+	wf, ok := k.be.(backend.WorkerFor)
+	if !ok {
+		k.be.For(n, grain, fn)
+		return
+	}
+	kernel, phase, lane := k.kernel, k.phase, k.worker
+	wf.ForWorker(n, grain, func(worker, lo, hi int) {
+		if lo == 0 && hi == n {
+			// The only chunk: the dispatch never split, nothing to attribute.
+			fn(lo, hi)
+			return
+		}
+		start := time.Now()
+		fn(lo, hi)
+		end := time.Now()
+		if worker == 0 {
+			worker = lane
+		}
+		k.mu.Lock()
+		k.spans = append(k.spans, trace.Span{
+			Name:   kernel,
+			Kind:   trace.SpanChunk,
+			Phase:  phase,
+			Worker: worker,
+			Start:  start,
+			End:    end,
+		})
+		k.mu.Unlock()
+	})
+}
+
+// drain moves the accumulated chunk spans into tr. Engine goroutine only,
+// called after the dispatching op returned (so no chunk is in flight).
+func (k *kernelTracer) drain(tr *trace.Trace) {
+	k.mu.Lock()
+	spans := k.spans
+	k.spans = nil
+	k.mu.Unlock()
+	for _, s := range spans {
+		tr.AddSpan(s)
+	}
+}
+
+// The remaining Backend methods delegate untouched.
+
+func (k *kernelTracer) Name() string            { return k.be.Name() }
+func (k *kernelTracer) Workers() int            { return k.be.Workers() }
+func (k *kernelTracer) Scratch(n int) []float64 { return k.be.Scratch(n) }
+func (k *kernelTracer) Release(buf []float64)   { k.be.Release(buf) }
+func (k *kernelTracer) Close()                  { k.be.Close() }

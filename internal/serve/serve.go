@@ -27,10 +27,15 @@
 package serve
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +46,7 @@ import (
 	"github.com/neurosym/nsbench/internal/hwsim"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value serves on a serial
@@ -64,6 +70,15 @@ type Config struct {
 	// nil gives the server a private registry. Share one registry when a
 	// process embeds several instrumented components behind one /metrics.
 	Metrics *metrics.Registry
+	// RecorderSize is the flight-recorder capacity in operator events;
+	// 0 selects 512, negative disables the recorder (and /debug/trace).
+	RecorderSize int
+	// Logger, when non-nil, receives one structured line per HTTP request
+	// (method, path, status, duration, request ID). Nil disables logging.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiling endpoints are opt-in on shared deployments.
+	Pprof bool
 }
 
 func (c *Config) defaults() {
@@ -78,6 +93,9 @@ func (c *Config) defaults() {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RecorderSize == 0 {
+		c.RecorderSize = 512
 	}
 }
 
@@ -134,6 +152,7 @@ func canonicalize(req Request) (Request, string, error) {
 type flight struct {
 	key  string
 	req  Request
+	id   string        // leader's request ID, scopes flight-recorder entries
 	done chan struct{} // closed when res/err are final
 	res  []byte
 	err  error
@@ -172,6 +191,19 @@ type Server struct {
 	httpReqs *metrics.CounterVec   // nsserve_http_requests_total{endpoint,code}
 	httpLat  *metrics.HistogramVec // nsserve_http_request_seconds{endpoint}
 
+	// recorder is the flight recorder fed by every characterization's
+	// observer chain; nil when Config.RecorderSize is negative.
+	recorder *trace.Recorder
+	// opObs streams per-operator timings into the registry. Kept so
+	// per-run observers can chain it with recorder attribution.
+	opObs  trace.Observer
+	logger *slog.Logger
+
+	// Request-ID generation: a per-process nonce plus a counter, so IDs
+	// are unique across restarts without coordination.
+	reqNonce string
+	reqSeq   atomic.Uint64
+
 	closeOnce sync.Once
 }
 
@@ -199,6 +231,11 @@ func New(cfg Config) (*Server, error) {
 			"HTTP requests by endpoint and status code.", "endpoint", "code"),
 		httpLat: reg.HistogramVec("nsserve_http_request_seconds",
 			"HTTP request latency by endpoint.", metrics.LatencyBuckets(), "endpoint"),
+		logger:   cfg.Logger,
+		reqNonce: newNonce(),
+	}
+	if cfg.RecorderSize > 0 {
+		s.recorder = trace.NewRecorder(cfg.RecorderSize)
 	}
 	s.cache.onEvict = func(string) { s.st.evictions.Inc() }
 	reg.GaugeFunc("nsserve_queue_depth", "Characterizations waiting in the admission queue.",
@@ -213,7 +250,8 @@ func New(cfg Config) (*Server, error) {
 	ops.RegisterPoolMetrics(reg, s.pool)
 	// Stream per-operator timings from every characterization into the
 	// registry: the live form of the paper's operator breakdown.
-	s.pool.SetObserver(ops.NewOpObserver(reg))
+	s.opObs = ops.NewOpObserver(reg)
+	s.pool.SetObserver(s.opObs)
 	s.wg.Add(cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
 		go s.worker()
@@ -232,23 +270,67 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// instrument wraps h with per-endpoint request/latency metrics. The
-// latency child is resolved once here; only the (endpoint, code) counter
-// pays a labeled lookup per request, after the response is written.
+// newNonce returns a short random hex tag for request-ID generation.
+func newNonce() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "static"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKeyRequestID carries the request's ID through the handler chain.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestID returns the ID instrument assigned to (or accepted from) r.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// instrument wraps h with per-endpoint request/latency metrics, assigns
+// every request an ID (honoring an inbound X-Request-ID so IDs correlate
+// across services, else generating one), echoes it on the response, and —
+// when the server has a logger — emits one structured line per request.
+// The latency child is resolved once here; only the (endpoint, code)
+// counter pays a labeled lookup per request, after the response is written.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.httpLat.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("ns-%s-%d", s.reqNonce, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		lat.ObserveSeconds(time.Since(start).Nanoseconds())
+		dur := time.Since(start)
+		lat.ObserveSeconds(dur.Nanoseconds())
 		s.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		if s.logger != nil {
+			s.logger.Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "dur", dur, "id", id)
+		}
 	}
 }
 
@@ -405,7 +487,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		s.st.dedupJoins.Inc()
 		f.join()
 	} else {
-		f = &flight{key: key, req: canon, done: make(chan struct{})}
+		f = &flight{key: key, req: canon, id: requestID(r), done: make(chan struct{})}
 		// Register interest before the flight becomes visible to a
 		// worker, or a fast dequeue could mistake it for abandoned.
 		f.join()
@@ -486,7 +568,7 @@ func (s *Server) runFlight(f *flight) {
 	}
 	s.st.inflight.Inc()
 	start := time.Now()
-	res, err := s.characterize(f.req)
+	res, err := s.characterize(f.req, f.id)
 	s.st.recordRun(time.Since(start))
 	s.st.inflight.Dec()
 	if err != nil {
@@ -512,8 +594,19 @@ func (s *Server) finish(f *flight, cache bool) {
 }
 
 // characterize builds the workload and runs it on an engine borrowed from
-// the server's shared backend pool.
-func (s *Server) characterize(req Request) ([]byte, error) {
+// the server's shared backend pool, feeding the run's operator events to
+// the metrics observer and (scoped under runID) the flight recorder.
+func (s *Server) characterize(req Request, runID string) ([]byte, error) {
+	report, err := s.run(req, runID)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(report)
+}
+
+// run executes one characterization and returns the full report (trace
+// included). runID scopes the run's events in the flight recorder.
+func (s *Server) run(req Request, runID string) (*core.Report, error) {
 	wl, err := core.BuildWorkload(req.Workload)
 	if err != nil {
 		return nil, err
@@ -523,11 +616,116 @@ func (s *Server) characterize(req Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	report, err := core.Characterize(wl, core.Options{Device: dev, Pool: s.pool})
-	if err != nil {
-		return nil, err
+	return core.Characterize(wl, core.Options{Device: dev, Pool: s.pool, Observer: s.runObserver(runID)})
+}
+
+// runObserver chains the registry's per-operator observer with
+// flight-recorder attribution under id. With the recorder disabled it
+// returns nil, leaving the pool's default observer in place.
+func (s *Server) runObserver(id string) trace.Observer {
+	if s.recorder == nil {
+		return nil
 	}
-	return json.Marshal(report)
+	rec := s.recorder.Observer(id)
+	return func(ev *trace.Event) {
+		s.opObs(ev)
+		rec(ev)
+	}
+}
+
+// handleTrace runs one characterization and streams its operator timeline
+// in the requested format: Chrome trace-event JSON (format=chrome, the
+// default — load it in Perfetto or chrome://tracing) or the native event
+// JSON (format=json). Timelines are wall-clock and therefore per-run, so
+// this endpoint bypasses the report cache and admission queue: it is a
+// debugging surface, not the serving hot path.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "chrome"
+	}
+	if format != "chrome" && format != "json" {
+		http.Error(w, fmt.Sprintf("unknown format %q (want chrome or json)", format), http.StatusBadRequest)
+		return
+	}
+	canon, _, err := canonicalize(Request{Workload: q.Get("workload"), Device: q.Get("device")})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	report, err := s.run(canon, requestID(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if format == "chrome" {
+		err = report.Trace.WriteChromeTrace(w)
+	} else {
+		err = report.Trace.WriteJSON(w)
+	}
+	if err != nil && s.logger != nil {
+		s.logger.Error("trace write failed", "id", requestID(r), "err", err)
+	}
+}
+
+// debugTraceEntry is one flight-recorder row as served by /debug/trace.
+type debugTraceEntry struct {
+	ID     string  `json:"id"`
+	Time   string  `json:"time"`
+	Name   string  `json:"name"`
+	Kernel string  `json:"kernel,omitempty"`
+	Stage  string  `json:"stage,omitempty"`
+	Phase  string  `json:"phase"`
+	Worker int     `json:"worker"`
+	DurNs  int64   `json:"dur_ns"`
+	FLOPs  int64   `json:"flops"`
+	Bytes  int64   `json:"bytes"`
+	Spars  float64 `json:"sparsity"`
+}
+
+// handleDebugTrace dumps the flight recorder: the last N operator events
+// the server executed, each tagged with the request ID that caused it.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	if s.recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	snap := s.recorder.Snapshot()
+	entries := make([]debugTraceEntry, len(snap))
+	for i, rec := range snap {
+		entries[i] = debugTraceEntry{
+			ID:     rec.ID,
+			Time:   rec.Time.Format(time.RFC3339Nano),
+			Name:   rec.Ev.Name,
+			Kernel: rec.Ev.Kernel,
+			Stage:  rec.Ev.Stage,
+			Phase:  rec.Ev.Phase.String(),
+			Worker: rec.Ev.Worker,
+			DurNs:  rec.Ev.Dur.Nanoseconds(),
+			FLOPs:  rec.Ev.FLOPs,
+			Bytes:  rec.Ev.Bytes,
+			Spars:  rec.Ev.Sparsity,
+		}
+	}
+	b, err := json.Marshal(struct {
+		Capacity int               `json:"capacity"`
+		Total    uint64            `json:"total"`
+		Dropped  uint64            `json:"dropped"`
+		Events   []debugTraceEntry `json:"events"`
+	}{s.recorder.Cap(), s.recorder.Total(), s.recorder.Dropped(), entries})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, b)
 }
 
 func writeJSON(w http.ResponseWriter, b []byte) {

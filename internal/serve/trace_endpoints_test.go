@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// getWith is get with request headers (e.g. an inbound X-Request-ID).
+func getWith(h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	rec := get(h, "/healthz")
+	if id := rec.Header().Get("X-Request-ID"); id == "" {
+		t.Fatal("no X-Request-ID assigned")
+	}
+	// Distinct requests get distinct generated IDs.
+	if a, b := get(h, "/healthz").Header().Get("X-Request-ID"),
+		get(h, "/healthz").Header().Get("X-Request-ID"); a == b {
+		t.Fatalf("generated IDs collide: %q", a)
+	}
+	// An inbound ID is honored verbatim.
+	rec = getWith(h, "/healthz", map[string]string{"X-Request-ID": "caller-7"})
+	if id := rec.Header().Get("X-Request-ID"); id != "caller-7" {
+		t.Fatalf("inbound ID not echoed: %q", id)
+	}
+}
+
+func TestTraceEndpointChromeFormat(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	rec := get(h, "/v1/trace?workload=testfast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	stats, err := trace.ValidateChrome(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("/v1/trace chrome output invalid: %v", err)
+	}
+	if stats.Events == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+func TestTraceEndpointJSONFormat(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	rec := get(h, "/v1/trace?workload=testfast&format=json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc struct {
+		Events []struct {
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Events) == 0 {
+		t.Fatal("native trace has no events")
+	}
+}
+
+func TestTraceEndpointRejectsBadInput(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	if rec := get(h, "/v1/trace?workload=nope"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown workload: status = %d", rec.Code)
+	}
+	if rec := get(h, "/v1/trace"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing workload: status = %d", rec.Code)
+	}
+	if rec := get(h, "/v1/trace?workload=testfast&format=xml"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad format: status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/trace", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status = %d", rec.Code)
+	}
+}
+
+func TestDebugTraceReportsRequestScopedEvents(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{RecorderSize: 32})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/characterize",
+		strings.NewReader(`{"workload":"testfast"}`))
+	req.Header.Set("X-Request-ID", "flight-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("characterize: status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	dump := get(h, "/debug/trace")
+	if dump.Code != http.StatusOK {
+		t.Fatalf("debug/trace: status = %d", dump.Code)
+	}
+	var doc struct {
+		Capacity int    `json:"capacity"`
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+		Events   []struct {
+			ID    string `json:"id"`
+			Name  string `json:"name"`
+			Phase string `json:"phase"`
+			Time  string `json:"time"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(dump.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Capacity != 32 || doc.Total == 0 || len(doc.Events) == 0 {
+		t.Fatalf("recorder dump = cap %d total %d events %d", doc.Capacity, doc.Total, len(doc.Events))
+	}
+	for _, ev := range doc.Events {
+		if ev.ID != "flight-1" {
+			t.Fatalf("event %q scoped to %q, want flight-1", ev.Name, ev.ID)
+		}
+		if ev.Time == "" || ev.Phase == "" {
+			t.Fatalf("event missing time/phase: %+v", ev)
+		}
+	}
+}
+
+func TestDebugTraceDisabled(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{RecorderSize: -1})
+	if rec := get(s.Handler(), "/debug/trace"); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	resetCtl(false)
+	off := newTestServer(t, Config{})
+	if rec := get(off.Handler(), "/debug/pprof/cmdline"); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: status = %d", rec.Code)
+	}
+	on := newTestServer(t, Config{Pprof: true})
+	if rec := get(on.Handler(), "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof opt-in: status = %d", rec.Code)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	resetCtl(false)
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{
+		Logger: slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	getWith(s.Handler(), "/healthz", map[string]string{"X-Request-ID": "log-me"})
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/healthz", "status=200", "id=log-me"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q: %s", want, line)
+		}
+	}
+}

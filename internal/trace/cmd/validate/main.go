@@ -1,0 +1,47 @@
+// Command validate checks a Chrome trace-event JSON file (as written by
+// nsprof/nsbench -chrome-trace or nsserve's /v1/trace endpoint) for
+// structural validity: every "B" matched by an "E", timestamps monotone
+// per track, durations non-negative. CI runs it against a fresh
+// parallel-backend trace so a malformed export fails the build before a
+// human ever opens Perfetto.
+//
+// Usage:
+//
+//	go run ./internal/trace/cmd/validate trace.json
+//	nsprof -workload NVSA -chrome-trace /dev/stdout | go run ./internal/trace/cmd/validate -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate <trace.json | ->")
+		os.Exit(2)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if os.Args[1] == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	stats, err := trace.ValidateChrome(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d events, %d ranges, %d counter samples, %d tracks\n",
+		stats.Events, stats.Ranges, stats.Counters, stats.Tracks)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder is a flight recorder: a fixed-capacity ring buffer holding the
+// most recent operator events seen by an Observer, tagged with the
+// request (or run) that produced them. A long-running service feeds every
+// characterization's events through one Recorder so "what was the server
+// just executing?" is answerable from a debug endpoint without having
+// asked for a trace beforehand.
+//
+// The recorder is safe for concurrent use from any number of recording
+// goroutines; a Record is one short critical section copying a fixed-size
+// struct, cheap against the microseconds of the kernel it describes. Old
+// entries are overwritten silently — Dropped reports how many.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []RecordedEvent
+	total uint64 // events ever recorded; total - len(buf) were overwritten
+}
+
+// RecordedEvent is one flight-recorder entry: the operator event plus the
+// request scope and wall-clock instant it was recorded at.
+type RecordedEvent struct {
+	ID   string    // request/run identifier the event belongs to
+	Time time.Time // wall clock at record time
+	Ev   Event
+}
+
+// NewRecorder returns a flight recorder keeping the last n events
+// (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{buf: make([]RecordedEvent, 0, n)}
+}
+
+// Record appends one event under the given scope ID, overwriting the
+// oldest entry when the buffer is full. The event is copied; the pointer
+// may be reused by the caller immediately (the Observer contract).
+func (r *Recorder) Record(id string, ev *Event) {
+	entry := RecordedEvent{ID: id, Time: time.Now(), Ev: *ev}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, entry)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = entry
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Observer returns an Observer that records every event under id.
+// Install it on an engine (or chain it after a metrics observer) to feed
+// the recorder from a characterization run.
+func (r *Recorder) Observer(id string) Observer {
+	return func(ev *Event) { r.Record(id, ev) }
+}
+
+// Snapshot returns the buffered events oldest-first. The slice is a copy;
+// the recorder keeps running while the caller serializes it.
+func (r *Recorder) Snapshot() []RecordedEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RecordedEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	head := r.total % uint64(cap(r.buf)) // index of the oldest entry
+	out = append(out, r.buf[head:]...)
+	return append(out, r.buf[:head]...)
+}
+
+// Cap returns the recorder's capacity in events.
+func (r *Recorder) Cap() int { return cap(r.buf) }
+
+// Total returns how many events have ever been recorded.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events have been overwritten.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderKeepsLastN(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		ev := mkEvent(fmt.Sprintf("ev%d", i), MatMul, Neural, time.Millisecond, 1, 1)
+		r.Record("req", &ev)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %d entries, want 3", len(snap))
+	}
+	// Oldest-first: events 2, 3, 4 survive.
+	for i, rec := range snap {
+		want := fmt.Sprintf("ev%d", i+2)
+		if rec.Ev.Name != want {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, rec.Ev.Name, want)
+		}
+		if rec.ID != "req" {
+			t.Fatalf("snapshot[%d] id = %q", i, rec.ID)
+		}
+		if rec.Time.IsZero() {
+			t.Fatalf("snapshot[%d] has zero record time", i)
+		}
+	}
+	if r.Total() != 5 || r.Dropped() != 2 || r.Cap() != 3 {
+		t.Fatalf("total/dropped/cap = %d/%d/%d, want 5/2/3", r.Total(), r.Dropped(), r.Cap())
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(8)
+	ev := mkEvent("only", MatMul, Neural, time.Millisecond, 1, 1)
+	r.Record("a", &ev)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Ev.Name != "only" || r.Dropped() != 0 {
+		t.Fatalf("snapshot = %+v dropped = %d", snap, r.Dropped())
+	}
+}
+
+func TestRecorderCopiesEvent(t *testing.T) {
+	r := NewRecorder(2)
+	ev := mkEvent("orig", MatMul, Neural, time.Millisecond, 1, 1)
+	r.Record("a", &ev)
+	ev.Name = "mutated"
+	if got := r.Snapshot()[0].Ev.Name; got != "orig" {
+		t.Fatalf("recorder aliased the event: %q", got)
+	}
+}
+
+func TestRecorderMinimumCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Cap() < 1 {
+		t.Fatalf("cap = %d, want >= 1", r.Cap())
+	}
+}
+
+func TestRecorderObserverConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := r.Observer(fmt.Sprintf("req-%d", g))
+			for i := 0; i < 100; i++ {
+				ev := mkEvent("op", MatMul, Neural, time.Millisecond, 1, 1)
+				obs(&ev)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+	if len(r.Snapshot()) != 64 {
+		t.Fatalf("snapshot = %d, want 64", len(r.Snapshot()))
+	}
+}

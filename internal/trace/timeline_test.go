@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanStackDepthAndClose(t *testing.T) {
+	tr := New()
+	tr.Begin("outer")
+	tr.Begin("inner")
+	tr.End()
+	tr.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["outer"].Depth != 0 || byName["inner"].Depth != 1 {
+		t.Fatalf("depths = outer:%d inner:%d, want 0/1", byName["outer"].Depth, byName["inner"].Depth)
+	}
+	for _, s := range spans {
+		if s.Start.IsZero() || s.End.IsZero() || s.End.Before(s.Start) {
+			t.Fatalf("span %q has bad bounds: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestCloseOpenSpans(t *testing.T) {
+	tr := New()
+	tr.Begin("a")
+	tr.Begin("b")
+	end := time.Now().Add(time.Second)
+	tr.CloseOpenSpans(end)
+	for _, s := range tr.Spans() {
+		if !s.End.Equal(end) {
+			t.Fatalf("span %q end = %v, want %v", s.Name, s.End, end)
+		}
+	}
+	// Closing again is a no-op.
+	tr.CloseOpenSpans(time.Time{})
+	if n := len(tr.Spans()); n != 2 {
+		t.Fatalf("spans = %d after double close, want 2", n)
+	}
+}
+
+func TestEndOnEmptyStackIsNoOp(t *testing.T) {
+	tr := New()
+	tr.End() // must not panic
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("spans = %d, want 0", n)
+	}
+}
+
+// Merge must preserve wall-clock timestamps and worker lanes verbatim —
+// only Seq is rewritten — and the renumbering must depend only on shard
+// order, not on when shards were built.
+func TestMergePreservesTimelineFields(t *testing.T) {
+	parent := New()
+	epoch := parent.Epoch()
+
+	shard := func(worker int, startUs int64, names ...string) *Trace {
+		tr := New()
+		tr.SetEpoch(epoch)
+		for i, name := range names {
+			ev := mkEvent(name, MatMul, Neural, time.Millisecond, 10, 10)
+			ev.Start = epoch.Add(time.Duration(startUs+int64(i)) * time.Microsecond)
+			ev.Worker = worker
+			tr.Append(ev)
+		}
+		tr.AddSpan(Span{
+			Name: "fork", Kind: SpanFork, Worker: worker,
+			Start: epoch.Add(time.Duration(startUs) * time.Microsecond),
+			End:   epoch.Add(time.Duration(startUs+100) * time.Microsecond),
+		})
+		return tr
+	}
+
+	parent.Append(mkEvent("root", Other, Neural, time.Millisecond, 1, 1))
+	parent.Merge(shard(2, 500, "s2a", "s2b"), shard(1, 200, "s1a"))
+
+	evs := parent.Events
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	// Seq renumbered in merge order.
+	wantNames := []string{"root", "s2a", "s2b", "s1a"}
+	for i, ev := range evs {
+		if ev.Seq != i || ev.Name != wantNames[i] {
+			t.Fatalf("event %d = {Seq:%d Name:%q}, want {Seq:%d Name:%q}", i, ev.Seq, ev.Name, i, wantNames[i])
+		}
+	}
+	// Start and Worker carried verbatim.
+	if evs[1].Worker != 2 || evs[3].Worker != 1 {
+		t.Fatalf("workers = %d/%d, want 2/1", evs[1].Worker, evs[3].Worker)
+	}
+	if got := evs[1].Start.Sub(epoch); got != 500*time.Microsecond {
+		t.Fatalf("s2a start offset = %v, want 500µs", got)
+	}
+	if got := evs[3].Start.Sub(epoch); got != 200*time.Microsecond {
+		t.Fatalf("s1a start offset = %v, want 200µs", got)
+	}
+	// Spans carried through with bounds intact.
+	spans := parent.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Worker != 2 || spans[1].Worker != 1 {
+		t.Fatalf("span workers = %d/%d, want 2/1", spans[0].Worker, spans[1].Worker)
+	}
+	if d := spans[0].Duration(); d != 100*time.Microsecond {
+		t.Fatalf("span duration = %v, want 100µs", d)
+	}
+}
+
+// Filter must deep-copy the params slice: appending a param to the
+// filtered trace used to write through into the parent's backing array.
+func TestFilterDoesNotAliasParams(t *testing.T) {
+	tr := New()
+	tr.Append(mkEvent("a", MatMul, Neural, time.Millisecond, 1, 1))
+	tr.RegisterParam(Param{Name: "w0", Kind: "weight", Bytes: 10})
+	tr.RegisterParam(Param{Name: "w1", Kind: "weight", Bytes: 20})
+
+	sub := tr.Filter(func(ev *Event) bool { return true })
+	sub.RegisterParam(Param{Name: "extra", Kind: "weight", Bytes: 30})
+
+	if n := len(tr.Params()); n != 2 {
+		t.Fatalf("parent params = %d after writing to filtered trace, want 2", n)
+	}
+	if n := len(sub.Params()); n != 3 {
+		t.Fatalf("filtered params = %d, want 3", n)
+	}
+	// Mutating the parent must not show up in the child either.
+	tr.RegisterParam(Param{Name: "late", Kind: "weight", Bytes: 5})
+	if n := len(sub.Params()); n != 3 {
+		t.Fatalf("filtered params grew to %d after parent append", n)
+	}
+}
+
+func TestFilterCarriesEpochAndSpans(t *testing.T) {
+	tr := New()
+	tr.Begin("stage")
+	tr.End()
+	tr.Append(mkEvent("a", MatMul, Neural, time.Millisecond, 1, 1))
+	sub := tr.Filter(func(ev *Event) bool { return true })
+	if !sub.Epoch().Equal(tr.Epoch()) {
+		t.Fatal("filtered trace lost the epoch")
+	}
+	if len(sub.Spans()) != 1 {
+		t.Fatalf("filtered spans = %d, want 1", len(sub.Spans()))
+	}
+}
+
+// Equal durations must tie-break on Seq so TopOps is deterministic.
+func TestTopOpsTieBreakIsStable(t *testing.T) {
+	tr := New()
+	for _, name := range []string{"a", "b", "c"} {
+		tr.Append(mkEvent(name, MatMul, Neural, time.Millisecond, 1, 1))
+	}
+	tr.Append(mkEvent("big", MatMul, Neural, 2*time.Millisecond, 1, 1))
+	top := tr.TopOps(4)
+	wantOrder := []string{"big", "a", "b", "c"}
+	for i, ev := range top {
+		if ev.Name != wantOrder[i] {
+			t.Fatalf("TopOps order = %v at %d, want %v", ev.Name, i, wantOrder)
+		}
+	}
+}

@@ -87,6 +87,8 @@ type Event struct {
 	Stage    string        // workload-defined stage label, e.g. "pmf_to_vsa"
 	Category Category      // taxonomy category
 	Phase    Phase         // neural or symbolic
+	Start    time.Time     // wall-clock start (monotonic); zero for synthetic events
+	Worker   int           // execution lane: 0 = main engine, >0 = fork/pool worker
 	Dur      time.Duration // measured wall time
 	FLOPs    int64         // analytic floating-point operation count
 	Bytes    int64         // analytic memory traffic (algorithmic convention)
@@ -113,10 +115,53 @@ func (e *Event) ArithmeticIntensity() float64 {
 }
 
 // Trace is an ordered log of events plus workload-level registrations.
+//
+// Alongside the flat event log, a trace carries a timeline skeleton: an
+// epoch (the monotonic instant timestamps are measured against) and a set
+// of nested spans (stage ranges, fork regions, kernel chunks) that the
+// Chrome/Perfetto export renders as "B"/"E" ranges and worker tracks
+// around the operator events.
 type Trace struct {
 	Events []Event
 	params []Param
+
+	// epoch is the monotonic reference instant for the timeline export:
+	// an event at Start == epoch renders at ts 0. Forked child traces
+	// adopt their parent's epoch so merged timelines stay aligned.
+	epoch time.Time
+	spans []Span
+	open  []int // indexes into spans of the currently open (un-Ended) spans
 }
+
+// Span is a named wall-clock range on one timeline track: a workload
+// stage, a forked worker's region, or one kernel chunk. Spans nest (Depth
+// is the nesting level at Begin) and never affect aggregate statistics —
+// they are pure timeline annotation, so recording them cannot perturb the
+// paper's figures.
+type Span struct {
+	Name   string
+	Kind   string // SpanStage, SpanFork, SpanChunk, or free-form
+	Phase  Phase
+	Worker int       // execution lane, same convention as Event.Worker
+	Depth  int       // nesting depth at Begin (0 = outermost)
+	Start  time.Time // wall-clock start (monotonic)
+	End    time.Time // zero while the span is still open
+}
+
+// Duration returns the span's length (0 while it is still open).
+func (s *Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Well-known span kinds.
+const (
+	SpanStage = "stage" // a workload-defined stage (Engine.InStage)
+	SpanFork  = "fork"  // one forked engine's region (Engine.Fork..Join)
+	SpanChunk = "chunk" // one kernel chunk executed by a pool worker
+)
 
 // Param is a persistent model parameter (weights, codebooks) registered by
 // a workload; it contributes to the storage-footprint analysis (Fig. 3b).
@@ -127,14 +172,69 @@ type Param struct {
 	Bytes int64
 }
 
-// New returns an empty trace.
-func New() *Trace { return &Trace{} }
+// New returns an empty trace whose epoch is the current instant.
+func New() *Trace { return &Trace{epoch: time.Now()} }
+
+// Epoch returns the trace's timeline reference instant.
+func (t *Trace) Epoch() time.Time { return t.epoch }
+
+// SetEpoch re-anchors the timeline. Forked child traces are anchored to
+// their parent's epoch so their events export onto one shared time axis.
+func (t *Trace) SetEpoch(epoch time.Time) { t.epoch = epoch }
 
 // Append adds an event, assigning its sequence number.
 func (t *Trace) Append(e Event) {
 	e.Seq = len(t.Events)
 	t.Events = append(t.Events, e)
 }
+
+// BeginSpan opens a nested span. A zero Start is stamped with the current
+// instant; Depth is assigned from the open-span stack. Close it with End.
+func (t *Trace) BeginSpan(s Span) {
+	if s.Start.IsZero() {
+		s.Start = time.Now()
+	}
+	s.End = time.Time{}
+	s.Depth = len(t.open)
+	t.open = append(t.open, len(t.spans))
+	t.spans = append(t.spans, s)
+}
+
+// Begin opens a nested span with just a name (lane 0, neural phase).
+func (t *Trace) Begin(name string) { t.BeginSpan(Span{Name: name}) }
+
+// End closes the most recently opened span at the current instant. It is
+// a no-op when no span is open.
+func (t *Trace) End() { t.EndAt(time.Now()) }
+
+// EndAt closes the most recently opened span at the given instant.
+func (t *Trace) EndAt(end time.Time) {
+	if len(t.open) == 0 {
+		return
+	}
+	i := t.open[len(t.open)-1]
+	t.open = t.open[:len(t.open)-1]
+	t.spans[i].End = end
+}
+
+// CloseOpenSpans force-closes every open span at the given instant (zero
+// selects now). Join uses it so a forked trace always merges with a
+// balanced span stack even if a workload left spans open.
+func (t *Trace) CloseOpenSpans(end time.Time) {
+	if end.IsZero() {
+		end = time.Now()
+	}
+	for len(t.open) > 0 {
+		t.EndAt(end)
+	}
+}
+
+// AddSpan appends an already-closed span (e.g. a kernel chunk recorded on
+// a pool worker) without touching the open-span stack.
+func (t *Trace) AddSpan(s Span) { t.spans = append(t.spans, s) }
+
+// Spans returns the recorded spans in Begin/AddSpan order.
+func (t *Trace) Spans() []Span { return t.spans }
 
 // RegisterParam records a persistent parameter.
 func (t *Trace) RegisterParam(p Param) { t.params = append(t.params, p) }
@@ -294,9 +394,12 @@ func (t *Trace) ByStage() []StageStats {
 
 // Merge appends the events of parts into t in argument order, renumbering
 // their sequence numbers to continue t's own, and carries over any params
-// the parts registered. It is the deterministic combine step for traces
-// recorded on sharded per-worker buffers: as long as callers pass shards in
-// a fixed order, the merged trace is identical run to run.
+// and spans the parts registered. Only Seq is rewritten: wall-clock
+// Start, Worker attribution, and span timestamps are preserved verbatim,
+// so a merged timeline still renders each shard on its own track at its
+// real time. It is the deterministic combine step for traces recorded on
+// sharded per-worker buffers: as long as callers pass shards in a fixed
+// order, the merged trace is identical run to run.
 func (t *Trace) Merge(parts ...*Trace) {
 	for _, p := range parts {
 		if p == nil {
@@ -306,26 +409,38 @@ func (t *Trace) Merge(parts ...*Trace) {
 			t.Append(p.Events[i])
 		}
 		t.params = append(t.params, p.params...)
+		t.spans = append(t.spans, p.spans...)
 	}
 }
 
-// Filter returns a new trace holding the events for which keep returns true.
-// Params are carried over unchanged.
+// Filter returns a new trace holding the events for which keep returns
+// true. Params and spans are carried over as copies: the filtered trace
+// must not alias the parent's backing arrays, or a later RegisterParam on
+// either trace could clobber the other through a shared-array append.
 func (t *Trace) Filter(keep func(*Event) bool) *Trace {
 	out := New()
+	out.epoch = t.epoch
 	for i := range t.Events {
 		if keep(&t.Events[i]) {
 			out.Append(t.Events[i])
 		}
 	}
-	out.params = t.params
+	out.params = append([]Param(nil), t.params...)
+	out.spans = append([]Span(nil), t.spans...)
 	return out
 }
 
-// TopOps returns the n longest events, descending by duration.
+// TopOps returns the n longest events, descending by duration. Ties are
+// broken by ascending sequence number, so the ranking is deterministic
+// across runs and shard orders.
 func (t *Trace) TopOps(n int) []Event {
 	evs := append([]Event(nil), t.Events...)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Dur > evs[j].Dur })
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Dur != evs[j].Dur {
+			return evs[i].Dur > evs[j].Dur
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
 	if n > len(evs) {
 		n = len(evs)
 	}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChromeStats summarizes a validated Chrome trace for smoke checks and
+// the validate command's report.
+type ChromeStats struct {
+	Events   int // "X" complete events
+	Ranges   int // matched "B"/"E" pairs
+	Counters int // "C" samples
+	Tracks   int // distinct (pid, tid) pairs carrying events
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event
+// JSON document as WriteChromeTrace emits it: a traceEvents array whose
+// entries carry known phase codes, where every "B" has a matching "E" on
+// the same track (properly nested, balanced at the end), timestamps are
+// non-negative and non-decreasing per track, and "X" durations are
+// non-negative. It is the machine check behind the CI trace-shape smoke
+// step and the export tests.
+func ValidateChrome(data []byte) (ChromeStats, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  int      `json:"pid"`
+			TID  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	var stats ChromeStats
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return stats, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return stats, fmt.Errorf("trace: missing traceEvents array")
+	}
+	type track struct{ pid, tid int }
+	lastTs := map[track]float64{}
+	stacks := map[track][]string{}
+	seen := map[track]bool{}
+	for i, ev := range doc.TraceEvents {
+		tr := track{ev.PID, ev.TID}
+		switch ev.Ph {
+		case "M":
+			continue // metadata carries no timeline position
+		case "X", "B", "E", "C":
+		default:
+			return stats, fmt.Errorf("trace: event %d: unknown phase code %q", i, ev.Ph)
+		}
+		if ev.Ts == nil {
+			return stats, fmt.Errorf("trace: event %d (%s %q): missing ts", i, ev.Ph, ev.Name)
+		}
+		if *ev.Ts < 0 {
+			return stats, fmt.Errorf("trace: event %d (%s %q): negative ts %v", i, ev.Ph, ev.Name, *ev.Ts)
+		}
+		if prev, ok := lastTs[tr]; ok && *ev.Ts < prev {
+			return stats, fmt.Errorf("trace: event %d (%s %q): ts %v regresses below %v on track pid=%d tid=%d",
+				i, ev.Ph, ev.Name, *ev.Ts, prev, tr.pid, tr.tid)
+		}
+		lastTs[tr] = *ev.Ts
+		if !seen[tr] {
+			seen[tr] = true
+			stats.Tracks++
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return stats, fmt.Errorf("trace: event %d (X %q): missing or negative dur", i, ev.Name)
+			}
+			stats.Events++
+		case "B":
+			stacks[tr] = append(stacks[tr], ev.Name)
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				return stats, fmt.Errorf("trace: event %d (E %q): no open B on track pid=%d tid=%d", i, ev.Name, tr.pid, tr.tid)
+			}
+			stacks[tr] = st[:len(st)-1]
+			stats.Ranges++
+		case "C":
+			stats.Counters++
+		}
+	}
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			return stats, fmt.Errorf("trace: track pid=%d tid=%d has %d unclosed B events (innermost %q)",
+				tr.pid, tr.tid, len(st), st[len(st)-1])
+		}
+	}
+	return stats, nil
+}
