@@ -1,0 +1,111 @@
+// Command nsrouter fronts a fleet of nsserve replicas: it shards
+// characterization requests across them by the same canonical
+// workload/device key the replicas cache under (so each key has exactly
+// one owning replica and the cluster cache scales linearly), health-checks
+// every replica's /readyz, ejects failing nodes from the hash ring, fails
+// requests over to the next ring node with jittered exponential backoff,
+// and optionally hedges slow requests onto a second replica.
+//
+// Usage:
+//
+//	nsrouter -addr :9090 -replicas http://host-a:8080,http://host-b:8080
+//
+//	curl -X POST localhost:9090/v1/characterize -d '{"workload":"NVSA"}'
+//	curl localhost:9090/v1/stats   # aggregated across live replicas
+//	curl localhost:9090/metrics    # router's own Prometheus registry
+//	curl localhost:9090/readyz     # 503 once every replica is ejected
+//
+// The API mirrors nsserve, so clients point at the router unchanged.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated nsserve base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 128)")
+	maxAttempts := flag.Int("max-attempts", 0, "distinct replicas one request may try (0 = min(3, #replicas))")
+	hedge := flag.Bool("hedge", false, "hedge slow requests onto a second replica")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "attempt-latency quantile that arms the hedge timer (0 = default 0.9)")
+	probeInterval := flag.Duration("probe-interval", 0, "health-probe period (0 = default 2s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe timeout (0 = default 1s)")
+	ejectAfter := flag.Int("eject-after", 0, "consecutive failures before ejection (0 = default 3)")
+	readmitAfter := flag.Int("readmit-after", 0, "consecutive probation successes before readmission (0 = default 2)")
+	upstreamTimeout := flag.Duration("timeout", 0, "per-attempt upstream timeout (0 = default 90s)")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flag.Parse()
+
+	if *replicas == "" {
+		fatal(fmt.Errorf("-replicas is required (comma-separated nsserve URLs)"))
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	rt, err := cluster.New(cluster.Config{
+		Replicas:        urls,
+		VNodes:          *vnodes,
+		MaxAttempts:     *maxAttempts,
+		Hedge:           *hedge,
+		HedgeQuantile:   *hedgeQuantile,
+		UpstreamTimeout: *upstreamTimeout,
+		Health: cluster.HealthConfig{
+			Interval:     *probeInterval,
+			Timeout:      *probeTimeout,
+			EjectAfter:   *ejectAfter,
+			ReadmitAfter: *readmitAfter,
+		},
+		Logger: logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nsrouter: listening on %s, fronting %d replicas\n", *addr, len(urls))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nsrouter: shutting down...")
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "nsrouter: drain incomplete:", err)
+		}
+		rt.Close()
+	case err := <-errc:
+		rt.Close()
+		if err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nsrouter:", err)
+	os.Exit(1)
+}

@@ -12,7 +12,8 @@
 //	curl -X POST localhost:8080/v1/characterize -d '{"workload":"NVSA"}'
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics    # Prometheus text exposition
-//	curl localhost:8080/healthz    # load-balancer liveness probe
+//	curl localhost:8080/healthz    # liveness probe (process up)
+//	curl localhost:8080/readyz     # readiness probe (503 while draining)
 //	curl -o t.json 'localhost:8080/v1/trace?workload=NVSA'  # Perfetto timeline
 //	curl localhost:8080/debug/trace                         # flight recorder
 //
@@ -21,9 +22,11 @@
 // queue-depth/in-flight/pool gauges, per-operator timing histograms, and
 // Go runtime samples.
 //
-// SIGINT/SIGTERM shut the server down gracefully: the listener stops
-// accepting, in-flight characterizations drain, and the backend worker
-// pool is torn down.
+// SIGINT/SIGTERM shut the server down gracefully: /readyz flips to 503
+// first and the listener keeps answering for -drain-grace so routing
+// tiers (nsrouter) eject the replica before connections start failing;
+// then the listener stops accepting, in-flight characterizations drain,
+// and the backend worker pool is torn down.
 package main
 
 import (
@@ -50,6 +53,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "concurrent characterization workers (0 = default 2)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout incl. queueing (0 = default 60s)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	drainGrace := flag.Duration("drain-grace", 0, "time to answer 503 on /readyz before the listener closes (lets routers eject this replica first)")
 	recorderSize := flag.Int("flight-recorder", 0, "flight-recorder capacity in events (0 = default 512, negative disables)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
@@ -83,6 +87,12 @@ func main() {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "nsserve: shutting down, draining in-flight work...")
+		srv.BeginDrain()
+		if *drainGrace > 0 {
+			// Keep serving (with /readyz answering 503) long enough for
+			// upstream health checkers to route around this replica.
+			time.Sleep(*drainGrace)
+		}
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(dctx); err != nil {

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthConfig parameterizes the replica health checker. The zero value
+// gives production-ish defaults.
+type HealthConfig struct {
+	// Interval between active probe rounds; 0 selects 2s.
+	Interval time.Duration
+	// Timeout caps one probe; 0 selects 1s.
+	Timeout time.Duration
+	// EjectAfter is the consecutive-failure threshold (probes and passive
+	// reports combined) that ejects a node; 0 selects 3.
+	EjectAfter int
+	// ReadmitAfter is the consecutive-success threshold that readmits an
+	// ejected node from probation; 0 selects 2.
+	ReadmitAfter int
+	// Path is the readiness endpoint probed on each node; empty selects
+	// "/readyz" (the serve.Server readiness split exists for this).
+	Path string
+}
+
+func (c *HealthConfig) defaults() {
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout == 0 {
+		c.Timeout = time.Second
+	}
+	if c.EjectAfter == 0 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitAfter == 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.Path == "" {
+		c.Path = "/readyz"
+	}
+}
+
+// ProbeFunc actively checks one node, returning nil when it is ready.
+type ProbeFunc func(node string) error
+
+// Checker tracks replica health with a circuit-breaker lifecycle per
+// node:
+//
+//	healthy --EjectAfter consecutive failures--> ejected (probation)
+//	ejected --ReadmitAfter consecutive probe successes--> healthy
+//
+// Failures come from two directions: an active prober GETs each node's
+// readiness endpoint every Interval, and the proxy path reports the
+// failures it observes in-line (ReportFailure), so a crashed replica is
+// usually ejected by live traffic before the next probe round fires.
+// Ejected nodes keep being probed — probation — and any success resets
+// the failure streak, so one flaky probe never flips a healthy node.
+//
+// The checker only decides; acting on the decision belongs to the
+// onEject/onReadmit callbacks (the Router removes/re-adds ring nodes
+// there). Callbacks run outside the checker's lock, one transition at a
+// time per node.
+type Checker struct {
+	cfg   HealthConfig
+	probe ProbeFunc
+
+	onEject   func(node string)
+	onReadmit func(node string)
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// nodeHealth is one node's consecutive-outcome state.
+type nodeHealth struct {
+	fails   int
+	oks     int
+	ejected bool
+}
+
+// NewChecker builds a checker over nodes. probe may be nil, selecting
+// the default HTTP readiness probe. Call Start to begin active probing;
+// passive ReportFailure/ReportSuccess work immediately.
+func NewChecker(cfg HealthConfig, nodes []string, probe ProbeFunc, onEject, onReadmit func(node string)) *Checker {
+	cfg.defaults()
+	c := &Checker{
+		cfg:       cfg,
+		probe:     probe,
+		onEject:   onEject,
+		onReadmit: onReadmit,
+		nodes:     make(map[string]*nodeHealth, len(nodes)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, n := range nodes {
+		c.nodes[n] = &nodeHealth{}
+	}
+	if c.probe == nil {
+		client := &http.Client{Timeout: cfg.Timeout}
+		c.probe = func(node string) error {
+			resp, err := client.Get(node + cfg.Path)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s%s: status %d", node, cfg.Path, resp.StatusCode)
+			}
+			return nil
+		}
+	}
+	return c
+}
+
+// Start launches the active probe loop: one immediate round, then one
+// every Interval until Close.
+func (c *Checker) Start() {
+	go func() {
+		defer close(c.done)
+		c.probeAll()
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it to exit. Idempotent.
+func (c *Checker) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// probeAll probes every node concurrently and feeds the outcomes through
+// the same transition logic as passive reports.
+func (c *Checker) probeAll() {
+	c.mu.Lock()
+	nodes := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			c.report(n, c.probe(n) == nil)
+		}(node)
+	}
+	wg.Wait()
+}
+
+// ReportFailure feeds one passively observed failure (transport error or
+// gateway-class status) into the node's streak.
+func (c *Checker) ReportFailure(node string) { c.report(node, false) }
+
+// ReportSuccess feeds one passively observed success into the node's
+// streak, resetting its failure count.
+func (c *Checker) ReportSuccess(node string) { c.report(node, true) }
+
+// report applies one outcome and fires at most one transition callback.
+func (c *Checker) report(node string, ok bool) {
+	c.mu.Lock()
+	n := c.nodes[node]
+	if n == nil {
+		c.mu.Unlock()
+		return
+	}
+	var ejected, readmitted bool
+	if ok {
+		n.fails = 0
+		n.oks++
+		if n.ejected && n.oks >= c.cfg.ReadmitAfter {
+			n.ejected = false
+			readmitted = true
+		}
+	} else {
+		n.oks = 0
+		if !n.ejected {
+			n.fails++
+			if n.fails >= c.cfg.EjectAfter {
+				n.ejected = true
+				n.fails = 0
+				ejected = true
+			}
+		}
+	}
+	c.mu.Unlock()
+	if ejected && c.onEject != nil {
+		c.onEject(node)
+	}
+	if readmitted && c.onReadmit != nil {
+		c.onReadmit(node)
+	}
+}
+
+// Ejected returns the currently ejected nodes, sorted.
+func (c *Checker) Ejected() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for node, n := range c.nodes {
+		if n.ejected {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transitions records eject/readmit callbacks in order.
+type transitions struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (tr *transitions) eject(node string)   { tr.add("eject:" + node) }
+func (tr *transitions) readmit(node string) { tr.add("readmit:" + node) }
+func (tr *transitions) add(s string) {
+	tr.mu.Lock()
+	tr.log = append(tr.log, s)
+	tr.mu.Unlock()
+}
+func (tr *transitions) snapshot() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.log...)
+}
+
+func TestCheckerPassiveEjectionAndProbation(t *testing.T) {
+	var tr transitions
+	probe := func(node string) error { return errors.New("down") }
+	c := NewChecker(HealthConfig{EjectAfter: 3, ReadmitAfter: 2}, []string{"n1", "n2"}, probe, tr.eject, tr.readmit)
+	// Not started: only passive reports drive transitions.
+
+	c.ReportFailure("n1")
+	c.ReportFailure("n1")
+	if got := c.Ejected(); len(got) != 0 {
+		t.Fatalf("ejected after 2/3 failures: %v", got)
+	}
+	// A success resets the streak: one flaky probe never ejects.
+	c.ReportSuccess("n1")
+	c.ReportFailure("n1")
+	c.ReportFailure("n1")
+	if got := c.Ejected(); len(got) != 0 {
+		t.Fatalf("streak did not reset: %v", got)
+	}
+	c.ReportFailure("n1")
+	if got := c.Ejected(); len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("ejected = %v, want [n1]", got)
+	}
+	// Probation: one success is not enough to readmit...
+	c.ReportSuccess("n1")
+	if got := c.Ejected(); len(got) != 1 {
+		t.Fatalf("readmitted after 1/2 successes: %v", got)
+	}
+	// ...and an interleaved failure resets the success streak.
+	c.ReportFailure("n1")
+	c.ReportSuccess("n1")
+	if got := c.Ejected(); len(got) != 1 {
+		t.Fatalf("probation streak did not reset: %v", got)
+	}
+	c.ReportSuccess("n1")
+	if got := c.Ejected(); len(got) != 0 {
+		t.Fatalf("still ejected after consecutive successes: %v", got)
+	}
+	want := []string{"eject:n1", "readmit:n1"}
+	if got := tr.snapshot(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	// Unknown nodes are ignored, not tracked.
+	c.ReportFailure("unknown")
+	c.ReportFailure("unknown")
+	c.ReportFailure("unknown")
+	if got := tr.snapshot(); len(got) != 2 {
+		t.Fatalf("unknown node caused transitions: %v", got)
+	}
+}
+
+// TestCheckerActiveProbing drives the real probe loop against a replica
+// whose readiness flips: up → down (ejected) → up (readmitted).
+func TestCheckerActiveProbing(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var tr transitions
+	c := NewChecker(HealthConfig{
+		Interval:     5 * time.Millisecond,
+		Timeout:      time.Second,
+		EjectAfter:   2,
+		ReadmitAfter: 2,
+	}, []string{srv.URL}, nil, tr.eject, tr.readmit)
+	c.Start()
+	defer c.Close()
+
+	wait := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (transitions %v)", what, tr.snapshot())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Healthy start: stays in.
+	time.Sleep(30 * time.Millisecond)
+	if got := c.Ejected(); len(got) != 0 {
+		t.Fatalf("healthy node ejected: %v", got)
+	}
+	ready.Store(false)
+	wait("ejection", func() bool { return len(c.Ejected()) == 1 })
+	ready.Store(true)
+	wait("readmission", func() bool { return len(c.Ejected()) == 0 })
+	log := tr.snapshot()
+	if len(log) < 2 || log[0] != "eject:"+srv.URL || log[1] != "readmit:"+srv.URL {
+		t.Fatalf("transitions = %v, want eject then readmit of %s", log, srv.URL)
+	}
+}

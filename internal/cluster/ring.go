@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the number of points each node contributes to
+// the ring. 128 keeps per-node load imbalance in the low tens of percent
+// (the standard deviation of ownership shrinks ~1/sqrt(vnodes)) while a
+// membership change still costs only a few microseconds of re-sorting.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and nodes are
+// hashed onto the same 64-bit circle; a key is owned by the first node
+// point at or clockwise after the key's hash. Two properties matter to
+// the serving tier built on top:
+//
+//   - Minimal movement: adding or removing one of N nodes remaps only
+//     the keys whose owning point changed — about K/N of K keys, never a
+//     full reshuffle. Each replica's report cache therefore survives
+//     membership churn mostly intact (ring_test.go property-tests the
+//     ≤ c·K/N bound with testing/quick).
+//   - Restart determinism: the hash is seed-independent FNV-1a and ties
+//     are broken lexicographically, so the same membership always yields
+//     the same assignment, in any insertion order, in any process. A
+//     restarted router keeps routing every key to the replica that
+//     already cached it.
+//
+// All methods are safe for concurrent use; lookups take a read lock.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	member map[string]bool
+	points []point // sorted by (hash, node)
+}
+
+// point is one virtual node: a position on the circle owned by a node.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring; vnodes ≤ 0 selects DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, member: make(map[string]bool)}
+}
+
+// hashString is 64-bit FNV-1a. It is deliberately not maphash or any
+// seeded hash: assignment must be identical across process restarts and
+// across the router fleet, or every restart would orphan the replicas'
+// caches.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.member[node] {
+		return
+	}
+	r.member[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hashString(node + "\x00#" + strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties between different nodes' points are broken by name so
+		// the ring order never depends on insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes node's virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.member[node] {
+		return
+	}
+	delete(r.member, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}
+
+// Nodes returns the member nodes, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.member))
+	for n := range r.member {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the node owning key, or false on an empty ring.
+func (r *Ring) Get(key string) (string, bool) {
+	nodes := r.GetN(key, 1)
+	if len(nodes) == 0 {
+		return "", false
+	}
+	return nodes[0], true
+}
+
+// GetN returns up to n distinct nodes for key in failover order: the
+// owner first, then each next distinct node clockwise. Retries and
+// hedges walk this list, so a key's traffic concentrates on as few
+// replicas as availability allows.
+func (r *Ring) GetN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.member) {
+		n = len(r.member)
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleKeys returns K distinct synthetic canonical-ish keys.
+func sampleKeys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("workload-%d\x00device-%d", i, i%7)
+	}
+	return out
+}
+
+// assign maps every key to its ring owner.
+func assign(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		n, ok := r.Get(k)
+		if !ok {
+			panic("empty ring in assign")
+		}
+		out[k] = n
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Get("anything"); ok {
+		t.Fatal("empty ring must not assign")
+	}
+	if got := r.GetN("anything", 3); got != nil {
+		t.Fatalf("empty ring GetN = %v, want nil", got)
+	}
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	r.Add("b") // duplicate add is a no-op
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if got := len(r.points); got != 3*8 {
+		t.Fatalf("points = %d, want 24 (duplicate add must not double b)", got)
+	}
+	owner, ok := r.Get("some-key")
+	if !ok {
+		t.Fatal("populated ring must assign")
+	}
+	// GetN returns distinct nodes in failover order, owner first.
+	failover := r.GetN("some-key", 5)
+	if len(failover) != 3 {
+		t.Fatalf("GetN(5) on 3 nodes = %v, want all 3", failover)
+	}
+	if failover[0] != owner {
+		t.Fatalf("GetN[0] = %s, Get = %s; must agree", failover[0], owner)
+	}
+	seen := map[string]bool{}
+	for _, n := range failover {
+		if seen[n] {
+			t.Fatalf("GetN returned %s twice: %v", n, failover)
+		}
+		seen[n] = true
+	}
+	r.Remove("a")
+	r.Remove("a") // duplicate remove is a no-op
+	if r.Len() != 2 {
+		t.Fatalf("len after remove = %d, want 2", r.Len())
+	}
+	for _, k := range sampleKeys(100) {
+		if n, _ := r.Get(k); n == "a" {
+			t.Fatalf("removed node still owns %q", k)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossInsertionOrder is the restart-determinism
+// half of the rebalance contract: the same membership must produce the
+// same assignment regardless of the order nodes joined (a restarted
+// router re-adds its replicas in flag order; an aged router's order
+// reflects ejection history).
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	nodes := nodeNames(7)
+	keys := sampleKeys(500)
+	a := NewRing(32)
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := NewRing(32)
+		for _, n := range shuffled {
+			b.Add(n)
+		}
+		for _, k := range keys {
+			na, _ := a.Get(k)
+			nb, _ := b.Get(k)
+			if na != nb {
+				t.Fatalf("trial %d: key %q assigned to %s vs %s under different insertion orders", trial, k, na, nb)
+			}
+		}
+	}
+}
+
+// TestRingStableAssignmentGolden pins a handful of concrete assignments.
+// The FNV-1a hash has no per-process seed, so these values hold across
+// process restarts, architectures, and Go versions — if this test breaks,
+// the change just orphaned every deployed replica cache.
+func TestRingStableAssignmentGolden(t *testing.T) {
+	r := NewRing(16)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		r.Add(n)
+	}
+	golden := map[string]string{
+		"NVSA\x00RTX 2080 Ti":  "node-b",
+		"LNN\x00RTX 2080 Ti":   "node-b",
+		"LTN\x00Jetson TX2":    "node-b",
+		"PrAE\x00Xavier NX":    "node-c",
+		"ZeroC\x00RTX 2080 Ti": "node-c",
+	}
+	for key, want := range golden {
+		if got, _ := r.Get(key); got != want {
+			t.Errorf("Get(%q) = %s, want %s (assignment must be restart-stable)", key, got, want)
+		}
+	}
+}
+
+// TestRingRebalanceProperty is the consistent-hashing contract, checked
+// with testing/quick over random memberships: adding or removing one of
+// N nodes remaps at most c·K/N of K sampled keys. The expectation is
+// exactly K/N (the departing/arriving node's share); c=3 absorbs the
+// ownership imbalance of finite virtual-node counts.
+func TestRingRebalanceProperty(t *testing.T) {
+	const K = 1000
+	keys := sampleKeys(K)
+	prop := func(nNodes uint8, pick uint8) bool {
+		n := 2 + int(nNodes)%9 // 2..10 nodes
+		nodes := nodeNames(n)
+		r := NewRing(0) // DefaultVirtualNodes
+		for _, node := range nodes {
+			r.Add(node)
+		}
+		before := assign(r, keys)
+		bound := 3 * K / n
+
+		// Removal: only keys owned by the removed node may move.
+		removed := nodes[int(pick)%n]
+		r.Remove(removed)
+		afterRemove := assign(r, keys)
+		moved := 0
+		for _, k := range keys {
+			if before[k] != afterRemove[k] {
+				if before[k] != removed {
+					t.Errorf("remove(%s) moved key %q from surviving node %s", removed, k, before[k])
+					return false
+				}
+				moved++
+			}
+		}
+		if moved > bound {
+			t.Errorf("remove from %d nodes moved %d/%d keys, bound %d", n, moved, K, bound)
+			return false
+		}
+
+		// Re-adding restores the exact prior assignment (determinism) —
+		// and the add direction moves only the keys the new node claims.
+		r.Add(removed)
+		moved = 0
+		for k, owner := range assign(r, keys) {
+			if owner != before[k] {
+				t.Errorf("re-add of %s did not restore assignment for %q", removed, k)
+				return false
+			}
+		}
+		fresh := fmt.Sprintf("http://replica-fresh-%d:8080", pick)
+		r.Add(fresh)
+		afterAdd := assign(r, keys)
+		for _, k := range keys {
+			if afterAdd[k] != before[k] {
+				if afterAdd[k] != fresh {
+					t.Errorf("add(%s) moved key %q to old node %s", fresh, k, afterAdd[k])
+					return false
+				}
+				moved++
+			}
+		}
+		if moved > 3*K/(n+1) {
+			t.Errorf("add to %d nodes moved %d/%d keys, bound %d", n, moved, K, 3*K/(n+1))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingBalance sanity-checks that DefaultVirtualNodes keeps ownership
+// within a loose factor of fair share — the assumption behind the c=3
+// rebalance bound above.
+func TestRingBalance(t *testing.T) {
+	const K = 5000
+	r := NewRing(0)
+	nodes := nodeNames(5)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	for _, k := range sampleKeys(K) {
+		n, _ := r.Get(k)
+		counts[n]++
+	}
+	fair := K / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/3 || c > 3*fair {
+			t.Errorf("node %s owns %d of %d keys (fair %d): imbalance beyond 3x", n, c, K, fair)
+		}
+	}
+}

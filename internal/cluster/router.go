@@ -1,0 +1,658 @@
+// Package cluster is the horizontal serving tier for nsserve: a
+// stdlib-only router (cmd/nsrouter) that fronts N characterization
+// replicas and shards requests across them by the same canonical
+// workload\x00device key internal/serve caches under.
+//
+// Sharding by the cache key is the load-bearing decision: every
+// canonical request has exactly one owning replica, so each replica's
+// LRU and singleflight see all repetitions of the keys it owns, the
+// cluster-wide cache capacity is the sum of the replicas' caches (no
+// duplicated entries), and adding a replica moves only ~1/N of the key
+// space (consistent hashing, Ring).
+//
+// Around the ring sit the availability mechanisms:
+//
+//   - active health checking (Checker): each replica's /readyz is probed
+//     on an interval; consecutive failures eject it from the ring,
+//     consecutive probation successes readmit it. The proxy path feeds
+//     its own observed failures into the same streaks, so a dead replica
+//     is typically ejected by live traffic between probe rounds.
+//   - bounded failover retries: a failed attempt (transport error,
+//     502/503/504, or 429) moves to the next distinct ring node after an
+//     exponential backoff with jitter, up to MaxAttempts nodes.
+//   - opt-in hedged requests: when the primary attempt has not answered
+//     within the router's observed latency quantile, a second attempt
+//     races it on the next ring node; the first acceptable response wins
+//     and the loser's context is cancelled. Hedging trades duplicate
+//     work for tail latency, so it is off by default.
+//
+// The router propagates X-Request-ID into the replicas (landing in their
+// flight recorders), aggregates GET /v1/stats across live replicas, and
+// publishes its own metrics registry at /metrics: per-node request and
+// error counters, hedge fired/won counters, ring-size and ejected-node
+// gauges, and routing latency histograms.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/metrics"
+	"github.com/neurosym/nsbench/internal/serve"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Replicas are the nsserve base URLs fronted by the router (e.g.
+	// "http://10.0.0.1:8080"). At least one is required; trailing slashes
+	// are stripped.
+	Replicas []string
+	// VNodes is the virtual-node count per replica; 0 selects
+	// DefaultVirtualNodes.
+	VNodes int
+	// MaxAttempts bounds how many distinct replicas one request may try
+	// (first attempt included); 0 selects min(3, len(Replicas)).
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry, doubling per
+	// attempt with ±50% jitter; 0 selects 25ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff; 0 selects 1s.
+	RetryMaxDelay time.Duration
+	// Hedge enables tail-latency hedging on the proxied characterize
+	// path. Off by default: a hedge duplicates work on a second replica.
+	Hedge bool
+	// HedgeQuantile is the attempt-latency quantile that arms the hedge
+	// timer; 0 selects 0.9.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay — before any latency history
+	// exists (or if the quantile collapses) hedges fire no earlier than
+	// this; 0 selects 20ms.
+	HedgeMinDelay time.Duration
+	// UpstreamTimeout caps one proxied attempt; 0 selects 90s (above the
+	// replicas' default 60s request timeout so their 429/504 answers win
+	// the race against the router's own deadline).
+	UpstreamTimeout time.Duration
+	// Health parameterizes replica probing and ejection.
+	Health HealthConfig
+	// Metrics, when non-nil, is the registry the router publishes into.
+	Metrics *metrics.Registry
+	// Logger, when non-nil, receives one line per routed request plus
+	// ejection/readmission events. Nil disables logging.
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+		if len(c.Replicas) < 3 {
+			c.MaxAttempts = len(c.Replicas)
+		}
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if c.RetryMaxDelay == 0 {
+		c.RetryMaxDelay = time.Second
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.9
+	}
+	if c.HedgeMinDelay == 0 {
+		c.HedgeMinDelay = 20 * time.Millisecond
+	}
+	if c.UpstreamTimeout == 0 {
+		c.UpstreamTimeout = 90 * time.Second
+	}
+}
+
+// Router shards requests across nsserve replicas. Construct with New,
+// expose via Handler, Close when done.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	health *Checker
+	client *http.Client
+	logger *slog.Logger
+
+	reg        *metrics.Registry
+	httpReqs   *metrics.CounterVec   // nsrouter_http_requests_total{endpoint,code}
+	httpLat    *metrics.HistogramVec // nsrouter_http_request_seconds{endpoint}
+	nodeReqs   *metrics.CounterVec   // nsrouter_node_requests_total{node,code}
+	nodeErrs   *metrics.CounterVec   // nsrouter_node_errors_total{node}
+	retries    *metrics.Counter
+	hedgeFired *metrics.Counter
+	hedgeWon   *metrics.Counter
+	attemptLat *metrics.Histogram // successful-attempt latency; arms the hedge timer
+
+	reqNonce string
+	reqSeq   atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// New builds a router over cfg.Replicas, starts its health checker, and
+// returns it ready to serve.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: at least one replica required")
+	}
+	cfg.defaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		client: &http.Client{}, // per-attempt deadlines come from contexts
+		logger: cfg.Logger,
+		reg:    reg,
+		httpReqs: reg.CounterVec("nsrouter_http_requests_total",
+			"Routed HTTP requests by endpoint and status code.", "endpoint", "code"),
+		httpLat: reg.HistogramVec("nsrouter_http_request_seconds",
+			"Routing latency by endpoint, upstream time included.", metrics.LatencyBuckets(), "endpoint"),
+		nodeReqs: reg.CounterVec("nsrouter_node_requests_total",
+			"Upstream responses by replica and status code.", "node", "code"),
+		nodeErrs: reg.CounterVec("nsrouter_node_errors_total",
+			"Upstream transport errors by replica.", "node"),
+		retries: reg.Counter("nsrouter_retries_total",
+			"Failover attempts beyond each request's first."),
+		hedgeFired: reg.Counter("nsrouter_hedges_fired_total",
+			"Hedge attempts launched after the latency-quantile delay."),
+		hedgeWon: reg.Counter("nsrouter_hedges_won_total",
+			"Hedge attempts that answered before the primary."),
+		attemptLat: reg.Histogram("nsrouter_attempt_seconds",
+			"Latency of successful upstream attempts (feeds the hedge delay).", metrics.LatencyBuckets()),
+		reqNonce: newNonce(),
+	}
+	nodes := make([]string, len(cfg.Replicas))
+	for i, rep := range cfg.Replicas {
+		nodes[i] = strings.TrimRight(rep, "/")
+		rt.ring.Add(nodes[i])
+	}
+	rt.health = NewChecker(cfg.Health, nodes, nil,
+		func(node string) {
+			rt.ring.Remove(node)
+			if rt.logger != nil {
+				rt.logger.Warn("replica ejected", "node", node)
+			}
+		},
+		func(node string) {
+			rt.ring.Add(node)
+			if rt.logger != nil {
+				rt.logger.Info("replica readmitted", "node", node)
+			}
+		})
+	reg.GaugeFunc("nsrouter_ring_nodes", "Live replicas currently in the hash ring.",
+		func() float64 { return float64(rt.ring.Len()) })
+	reg.GaugeFunc("nsrouter_ejected_nodes", "Replicas ejected by the health checker.",
+		func() float64 { return float64(len(rt.health.Ejected())) })
+	metrics.NewGoCollector(reg)
+	rt.health.Start()
+	return rt, nil
+}
+
+// Metrics returns the router's registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Close stops the health checker and drops idle upstream connections.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		rt.health.Close()
+		rt.client.CloseIdleConnections()
+	})
+}
+
+// Handler returns the router's route table, mirroring the replica API so
+// clients point at the router unchanged.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/characterize", rt.instrument("/v1/characterize", rt.handleCharacterize))
+	mux.HandleFunc("/v1/workloads", rt.instrument("/v1/workloads", rt.handleWorkloads))
+	mux.HandleFunc("/v1/trace", rt.instrument("/v1/trace", rt.handleTrace))
+	mux.HandleFunc("/v1/stats", rt.instrument("/v1/stats", rt.handleStats))
+	mux.HandleFunc("/metrics", rt.instrument("/metrics", rt.handleMetrics))
+	mux.HandleFunc("/healthz", rt.instrument("/healthz", rt.handleHealthz))
+	mux.HandleFunc("/readyz", rt.instrument("/readyz", rt.handleReadyz))
+	return mux
+}
+
+// newNonce returns a short random hex tag for request-ID generation.
+func newNonce() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "static"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestID returns the ID instrument assigned to (or accepted from) r.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// instrument wraps h with per-endpoint request/latency metrics and
+// request-ID handling: an inbound X-Request-ID is kept (and forwarded to
+// the replica that serves the request, landing in its flight recorder),
+// otherwise one is minted here — either way the ID is echoed on the
+// response and ties the router's log line to the replica's.
+func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := rt.httpLat.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("nsr-%s-%d", rt.reqNonce, rt.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		dur := time.Since(start)
+		lat.ObserveSeconds(dur.Nanoseconds())
+		rt.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		if rt.logger != nil {
+			rt.logger.Info("route",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "dur", dur, "id", id)
+		}
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// allowMethods gates r to the listed methods (405 + Allow otherwise).
+func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// maxBodyBytes bounds request and upstream bodies. Reports are tens of
+// kilobytes; a megabyte of headroom keeps the copy loops bounded without
+// ever truncating a legitimate payload.
+const maxBodyBytes = 1 << 20
+
+// upstream is one replica response, fully buffered so it can be replayed
+// to the client after the retry/hedge race settles.
+type upstream struct {
+	node   string
+	code   int
+	header http.Header
+	body   []byte
+}
+
+// errNoReplicas distinguishes "every replica is ejected" (503, come back
+// later) from "every attempt failed" (502).
+var errNoReplicas = errors.New("no live replicas in the ring")
+
+// retryable reports whether an upstream status may be retried on the
+// next ring node: gateway-class statuses mean the replica cannot serve
+// right now, and 429 means its queue is full — characterizations are
+// deterministic, so the next replica can compute the same report.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// attempt proxies one request to one replica and buffers the response.
+// Outcomes feed the health checker: transport errors and gateway-class
+// statuses extend the node's failure streak (429 does not — backpressure
+// is load, not ill health), anything else resets it.
+func (rt *Router) attempt(ctx context.Context, node, method, path string, body []byte, id string) (*upstream, error) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, node+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("X-Request-ID", id)
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.nodeErrs.With(node).Inc()
+		rt.health.ReportFailure(node)
+		return nil, fmt.Errorf("%s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		rt.nodeErrs.With(node).Inc()
+		rt.health.ReportFailure(node)
+		return nil, fmt.Errorf("%s: reading body: %w", node, err)
+	}
+	rt.nodeReqs.With(node, strconv.Itoa(resp.StatusCode)).Inc()
+	switch {
+	case resp.StatusCode == http.StatusBadGateway,
+		resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusGatewayTimeout:
+		rt.health.ReportFailure(node)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// No health signal either way: a full queue is a healthy node.
+	default:
+		rt.health.ReportSuccess(node)
+		rt.attemptLat.ObserveSeconds(time.Since(start).Nanoseconds())
+	}
+	return &upstream{node: node, code: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// backoff returns the pre-retry delay for attempt i (1-based): base
+// doubling per step, capped, with ±50% jitter so synchronized clients
+// don't re-stampede a recovering replica.
+func (rt *Router) backoff(i int) time.Duration {
+	d := rt.cfg.RetryBaseDelay << (i - 1)
+	if d > rt.cfg.RetryMaxDelay || d <= 0 {
+		d = rt.cfg.RetryMaxDelay
+	}
+	half := int64(d) / 2
+	return time.Duration(half + mrand.Int63n(half+1))
+}
+
+// hedgeDelay is how long the primary attempt may run before a hedge is
+// launched: the configured quantile of observed successful-attempt
+// latency, floored at HedgeMinDelay (which also covers the no-data case).
+func (rt *Router) hedgeDelay() time.Duration {
+	d := rt.cfg.HedgeMinDelay
+	if q := rt.attemptLat.Quantile(rt.cfg.HedgeQuantile); !math.IsNaN(q) {
+		if lat := time.Duration(q * float64(time.Second)); lat > d {
+			d = lat
+		}
+	}
+	return d
+}
+
+// forward routes one request along key's failover node list: primary
+// first (hedged when enabled), then each next distinct ring node after a
+// jittered exponential backoff. It returns the first acceptable response,
+// or the last retryable one (so e.g. a terminal 429's Retry-After reaches
+// the client), or an error when every attempt failed at the transport.
+func (rt *Router) forward(ctx context.Context, key, method, path string, body []byte, id string, hedge bool) (*upstream, error) {
+	nodes := rt.ring.GetN(key, rt.cfg.MaxAttempts)
+	if len(nodes) == 0 {
+		return nil, errNoReplicas
+	}
+	var last *upstream
+	var lastErr error
+	for i := 0; i < len(nodes); i++ {
+		if i > 0 {
+			rt.retries.Inc()
+			select {
+			case <-time.After(rt.backoff(i)):
+			case <-ctx.Done():
+				return last, ctx.Err()
+			}
+		}
+		var up *upstream
+		var err error
+		if i == 0 && hedge && rt.cfg.Hedge && len(nodes) > 1 {
+			up, err = rt.hedged(ctx, nodes[0], nodes[1], method, path, body, id)
+		} else {
+			up, err = rt.attempt(ctx, nodes[i], method, path, body, id)
+		}
+		if err == nil && !retryable(up.code) {
+			return up, nil
+		}
+		if up != nil {
+			last = up
+		}
+		if err != nil {
+			lastErr = err
+			if rt.logger != nil {
+				rt.logger.Warn("attempt failed", "node", nodes[i], "id", id, "err", err)
+			}
+		}
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, lastErr
+}
+
+// hedged races the primary attempt against a delayed hedge on the next
+// ring node. The first acceptable response wins and the shared context
+// cancel reaps the loser's in-flight request; if the primary fails before
+// the hedge timer fires, the failure returns immediately so forward's
+// retry loop (with its backoff) takes over.
+func (rt *Router) hedged(ctx context.Context, primary, backup, method, path string, body []byte, id string) (*upstream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps whichever attempt lost
+	type res struct {
+		up    *upstream
+		err   error
+		hedge bool
+	}
+	ch := make(chan res, 2)
+	launch := func(node string, hedge bool) {
+		go func() {
+			up, err := rt.attempt(ctx, node, method, path, body, id)
+			ch <- res{up, err, hedge}
+		}()
+	}
+	launch(primary, false)
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	outstanding, launched := 1, false
+	var fallback res
+	var failed bool
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched = true
+				outstanding++
+				rt.hedgeFired.Inc()
+				launch(backup, true)
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil && !retryable(r.up.code) {
+				if r.hedge {
+					rt.hedgeWon.Inc()
+				}
+				return r.up, r.err
+			}
+			if !failed {
+				failed, fallback = true, r
+			}
+			if !launched {
+				// Primary failed fast: no point hedging a known-bad key
+				// placement — fail over with backoff instead.
+				return r.up, r.err
+			}
+			if outstanding == 0 {
+				return fallback.up, fallback.err
+			}
+		}
+	}
+}
+
+// writeUpstream replays a buffered replica response to the client,
+// preserving the payload bytes exactly and the headers that carry
+// serving semantics (cache disposition, backpressure hints). The
+// X-NSRouter-Node header names the replica that answered.
+func writeUpstream(w http.ResponseWriter, up *upstream) {
+	for _, h := range []string{"Content-Type", "X-NSServe-Cache", "Retry-After"} {
+		if v := up.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-NSRouter-Node", up.node)
+	w.WriteHeader(up.code)
+	w.Write(up.body)
+}
+
+// routeError maps a forwarding failure to a client status.
+func routeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoReplicas) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, "all replicas failed: "+err.Error(), http.StatusBadGateway)
+}
+
+// handleCharacterize is the routed hot path: canonicalize exactly as the
+// replicas do, shard by the canonical cache key, forward with failover
+// (and hedging when enabled). The canonical form is what gets forwarded,
+// so replicas parse one spelling per key no matter what clients sent.
+func (rt *Router) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req serve.Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	canon, key, err := serve.Canonicalize(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(canon)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	up, err := rt.forward(r.Context(), key, http.MethodPost, "/v1/characterize", body, requestID(r), true)
+	if err != nil {
+		routeError(w, err)
+		return
+	}
+	writeUpstream(w, up)
+}
+
+// handleTrace routes the debug timeline endpoint by the same canonical
+// key as characterize, so the replica that owns (and has cached) a key
+// also serves its traces.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	_, key, err := serve.Canonicalize(serve.Request{Workload: q.Get("workload"), Device: q.Get("device")})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	path := "/v1/trace"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	up, err := rt.forward(r.Context(), key, http.MethodGet, path, nil, requestID(r), false)
+	if err != nil {
+		routeError(w, err)
+		return
+	}
+	writeUpstream(w, up)
+}
+
+// handleWorkloads serves the registry listing from any live replica (the
+// listing is identical everywhere; a fixed routing key just keeps it on
+// one node's workloadsOnce path).
+func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	up, err := rt.forward(r.Context(), "\x00workloads", http.MethodGet, "/v1/workloads", nil, requestID(r), false)
+	if err != nil {
+		routeError(w, err)
+		return
+	}
+	writeUpstream(w, up)
+}
+
+// handleMetrics exposes the router's own registry (replica metrics are
+// scraped from the replicas; aggregating text expositions would lose
+// label identity).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	rt.reg.WriteProm(w)
+}
+
+// handleHealthz is the router's liveness probe.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// handleReadyz reports readiness: the router can serve only while at
+// least one replica is live in the ring.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.ring.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if r.Method != http.MethodHead {
+			fmt.Fprintln(w, "no live replicas")
+		}
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		fmt.Fprintln(w, "ready")
+	}
+}

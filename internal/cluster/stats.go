@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/neurosym/nsbench/internal/serve"
+)
+
+// NodeStats is one replica's /v1/stats snapshot as seen by the router,
+// or the error that stood in for it.
+type NodeStats struct {
+	Node  string         `json:"node"`
+	Stats serve.Snapshot `json:"stats,omitempty"`
+	Err   string         `json:"error,omitempty"`
+}
+
+// ClusterStats is the aggregated GET /v1/stats payload: the counter sums
+// across every live replica plus the per-node detail the sums hide.
+// AvgRunNanos is recomputed from the summed totals (a mean of means
+// would weight idle replicas equally with busy ones).
+type ClusterStats struct {
+	LiveNodes    int            `json:"live_nodes"`
+	EjectedNodes []string       `json:"ejected_nodes"`
+	Cluster      serve.Snapshot `json:"cluster"`
+	Nodes        []NodeStats    `json:"nodes"`
+}
+
+// aggregate fans one stats probe out to every live replica concurrently
+// and sums the snapshots. Replicas that fail to answer appear with an
+// error string and contribute nothing to the sums.
+func (rt *Router) aggregate(r *http.Request) ClusterStats {
+	nodes := rt.ring.Nodes()
+	out := ClusterStats{
+		LiveNodes:    len(nodes),
+		EjectedNodes: rt.health.Ejected(),
+		Nodes:        make([]NodeStats, len(nodes)),
+	}
+	if out.EjectedNodes == nil {
+		out.EjectedNodes = []string{}
+	}
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			ns := NodeStats{Node: node}
+			up, err := rt.attempt(r.Context(), node, http.MethodGet, "/v1/stats", nil, requestID(r))
+			switch {
+			case err != nil:
+				ns.Err = err.Error()
+			case up.code != http.StatusOK:
+				ns.Err = "status " + http.StatusText(up.code)
+			default:
+				if err := json.Unmarshal(up.body, &ns.Stats); err != nil {
+					ns.Err = "bad stats payload: " + err.Error()
+				}
+			}
+			out.Nodes[i] = ns
+		}(i, node)
+	}
+	wg.Wait()
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
+	for _, ns := range out.Nodes {
+		if ns.Err != "" {
+			continue
+		}
+		s := ns.Stats
+		c := &out.Cluster
+		c.Requests += s.Requests
+		c.CacheHits += s.CacheHits
+		c.CacheMiss += s.CacheMiss
+		c.DedupJoins += s.DedupJoins
+		c.Rejected += s.Rejected
+		c.Timeouts += s.Timeouts
+		c.Abandoned += s.Abandoned
+		c.Failures += s.Failures
+		c.Runs += s.Runs
+		c.RunNanos += s.RunNanos
+		c.CacheSize += s.CacheSize
+		c.QueueDepth += s.QueueDepth
+	}
+	if out.Cluster.Runs > 0 {
+		out.Cluster.AvgRunNanos = out.Cluster.RunNanos / out.Cluster.Runs
+	}
+	return out
+}
+
+// handleStats serves the aggregated cluster counters.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	b, err := json.Marshal(rt.aggregate(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}

@@ -22,8 +22,10 @@
 // request/latency histogram, cache/queue/pool gauge, per-operator timing,
 // and Go runtime sample lives in one metrics.Registry, scraped at
 // /metrics (Prometheus text format). /v1/stats remains the legacy JSON
-// view over the same counters, and /healthz answers load-balancer
-// liveness probes.
+// view over the same counters. /healthz answers liveness probes
+// (process up) and /readyz answers readiness probes (not draining) —
+// the split lets a draining replica be ejected from a load balancer or
+// the cluster router (internal/cluster) before its listener closes.
 package serve
 
 import (
@@ -34,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -95,7 +98,7 @@ func (c *Config) defaults() {
 		c.RequestTimeout = 60 * time.Second
 	}
 	if c.RecorderSize == 0 {
-		c.RecorderSize = 512
+		c.RecorderSize = trace.DefaultRecorderCapacity
 	}
 }
 
@@ -145,6 +148,16 @@ func canonicalize(req Request) (Request, string, error) {
 	}
 	canon := Request{Workload: resolved, Device: dev.Name}
 	return canon, canon.Workload + "\x00" + canon.Device, nil
+}
+
+// Canonicalize validates req and returns its normalized form plus the
+// cache key the server shards and caches under. It is exported for the
+// routing tier (internal/cluster): a router that hashes the same key the
+// replicas cache under gives every canonical request one owning replica,
+// so per-replica LRUs and singleflight stay maximally effective and
+// cluster cache capacity scales linearly with replica count.
+func Canonicalize(req Request) (Request, string, error) {
+	return canonicalize(req)
 }
 
 // flight is one in-progress characterization that any number of identical
@@ -203,6 +216,11 @@ type Server struct {
 	// are unique across restarts without coordination.
 	reqNonce string
 	reqSeq   atomic.Uint64
+
+	// draining flips readiness (/readyz) to 503 ahead of listener
+	// shutdown so load balancers and the cluster router eject this
+	// replica before its socket closes. Serving continues while draining.
+	draining atomic.Bool
 
 	closeOnce sync.Once
 }
@@ -274,6 +292,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("/debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -370,10 +389,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WriteProm(w)
 }
 
-// handleHealthz is the load-balancer liveness probe: a cheap 200 that
-// proves the process is accepting connections and routing requests. It
-// deliberately checks nothing deeper — readiness concerns (queue
-// saturation) already surface as 429s on the serving path.
+// handleHealthz is the liveness probe: a cheap 200 that proves the
+// process is up, accepting connections, and routing requests. It
+// deliberately checks nothing deeper — a draining or saturated server is
+// still *alive*. Routing decisions belong to readiness (/readyz).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
 		return
@@ -385,6 +404,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// BeginDrain marks the server not-ready: /readyz starts answering 503 so
+// health checkers eject this replica, while every serving endpoint keeps
+// answering normally. Call it on SIGTERM *before* shutting the listener
+// down, leave a grace period for checkers to observe it, then stop the
+// listener and Close. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleReadyz is the readiness probe: 200 while the server wants new
+// traffic, 503 once it is draining or shut down. Load balancers and the
+// cluster router route on this; liveness (/healthz) stays 200 throughout
+// a drain so orchestrators don't kill a replica that is merely retiring.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if r.Method != http.MethodHead {
+			fmt.Fprintln(w, "draining")
+		}
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 // Close drains the admission queue and tears down the characterization
 // workers and the shared backend pool. Stop the HTTP listener first
 // (http.Server.Shutdown) so no handler can race the queue teardown; any
@@ -392,6 +443,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // dropped (waiters gone) before Close returns. Close is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
 		s.mu.Lock()
 		s.shutdown = true
 		s.mu.Unlock()
@@ -500,7 +552,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.mu.Unlock()
 			s.st.rejected.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			http.Error(w, "characterization queue is full", http.StatusTooManyRequests)
 			return
 		}
@@ -528,7 +580,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusInternalServerError
 		}
 		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint())
 		}
 		http.Error(w, f.err.Error(), code)
 		return
@@ -545,6 +597,30 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // report was ready. Go's http package never sends it anywhere, but the
 // request is already unanswerable, so the code only lands in logs/tests.
 const statusClientClosed = 499
+
+// retryAfterHint estimates, in whole seconds, when a rejected client has
+// a real chance of admission: the time for the current queue (plus the
+// client's own run) to drain through the worker pool at the observed mean
+// service time. With no completed runs yet the mean defaults to one
+// second. The hint is clamped to [1, RequestTimeout] — below one second
+// the header would round to "retry immediately" and re-trigger the same
+// rejection; above the request timeout the retry could never be served in
+// time anyway.
+func (s *Server) retryAfterHint() string {
+	mean := time.Second
+	if runs := s.st.runs.Value(); runs > 0 {
+		mean = time.Duration(s.st.runNanos.Value() / runs)
+	}
+	est := time.Duration(float64(mean) * float64(len(s.queue)+1) / float64(s.cfg.Concurrency))
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if max := int(s.cfg.RequestTimeout.Seconds()); max >= 1 && secs > max {
+		secs = max
+	}
+	return strconv.Itoa(secs)
+}
 
 // worker executes queued flights until the queue is closed and drained.
 func (s *Server) worker() {

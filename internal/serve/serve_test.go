@@ -481,6 +481,103 @@ func TestCanonicalizeKeys(t *testing.T) {
 	}
 }
 
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	resetCtl(true)
+	s := newTestServer(t, Config{Concurrency: 1, QueueDepth: 8})
+
+	// Idle, no history: the hint is the 1-second floor.
+	if got := s.retryAfterHint(); got != "1" {
+		t.Fatalf("idle hint = %s, want 1", got)
+	}
+
+	// Three 2-second runs of history and an empty queue: the next run is
+	// expected to take ~2s, so the hint follows the observed mean.
+	for i := 0; i < 3; i++ {
+		s.st.recordRun(2 * time.Second)
+	}
+	if got := s.retryAfterHint(); got != "2" {
+		t.Fatalf("mean-informed hint = %s, want 2", got)
+	}
+
+	// Saturate the queue: one gated run occupies the worker, more queue
+	// behind it. The drain estimate now covers every queued run, so a
+	// saturated server must report a strictly larger hint than an idle one.
+	var wg sync.WaitGroup
+	devices := []string{hwsim.RTX2080Ti.Name, hwsim.XavierNX.Name, hwsim.JetsonTX2.Name}
+	for _, dev := range devices {
+		dev := dev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(s.Handler(), fmt.Sprintf(`{"workload":"testgate","device":%q}`, dev))
+		}()
+	}
+	waitFor(t, "worker busy", func() bool { return len(testCtl.entered) >= 1 })
+	waitFor(t, "queue backlog", func() bool { return len(s.queue) == len(devices)-1 })
+	saturated := s.retryAfterHint()
+	// mean 2s × (2 queued + 1 new) ÷ 1 worker = 6s.
+	if saturated != "6" {
+		t.Fatalf("saturated hint = %s, want 6", saturated)
+	}
+	openGate()
+	wg.Wait()
+}
+
+func TestRetryAfterClampedToTimeout(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{Concurrency: 1, RequestTimeout: 5 * time.Second})
+	// One absurdly slow observed run must not produce a hint beyond the
+	// request timeout: a client told to come back later than its own
+	// deadline would never be served.
+	s.st.recordRun(10 * time.Minute)
+	if got := s.retryAfterHint(); got != "5" {
+		t.Fatalf("hint = %s, want clamp to request timeout (5)", got)
+	}
+}
+
+// TestDrainReadiness covers the liveness/readiness split: BeginDrain
+// flips /readyz to 503 (so health checkers eject the replica) while
+// /healthz and the serving path keep answering — the listener is still
+// open, only routing should stop.
+func TestDrainReadiness(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("fresh server /readyz = %d, want 200", rec.Code)
+	}
+	if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+		t.Fatalf("characterize: %d %s", rec.Code, rec.Body)
+	}
+
+	s.BeginDrain()
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", rec.Code)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200 (liveness must survive a drain)", rec.Code)
+	}
+	// Draining only flips readiness: cached and fresh work still serve
+	// until the listener actually closes.
+	if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
+		t.Fatalf("characterize while draining: %d %s", rec.Code, rec.Body)
+	}
+	if rec := post(h, fmt.Sprintf(`{"workload":"testfast","device":%q}`, hwsim.XavierNX.Name)); rec.Code != http.StatusOK {
+		t.Fatalf("fresh characterize while draining: %d %s", rec.Code, rec.Body)
+	}
+
+	s.Close()
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("closed /readyz = %d, want 503", rec.Code)
+	}
+}
+
 func TestLRUEvicts(t *testing.T) {
 	c := newLRU(2)
 	c.Put("a", []byte("1"))

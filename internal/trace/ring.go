@@ -30,11 +30,20 @@ type RecordedEvent struct {
 	Ev   Event
 }
 
-// NewRecorder returns a flight recorder keeping the last n events
-// (minimum 1).
+// DefaultRecorderCapacity is the ring capacity NewRecorder falls back to
+// when asked for a non-positive size. A single characterization emits a
+// few dozen operator events, so 512 holds the last handful of requests —
+// enough context to answer "what was the server just executing?".
+const DefaultRecorderCapacity = 512
+
+// NewRecorder returns a flight recorder keeping the last n events. A
+// non-positive n selects DefaultRecorderCapacity: a zero- or one-slot
+// ring would silently discard the history the recorder exists to keep,
+// so callers that don't care about sizing get a useful default instead.
+// (Callers that want *no* recorder should not construct one.)
 func NewRecorder(n int) *Recorder {
 	if n < 1 {
-		n = 1
+		n = DefaultRecorderCapacity
 	}
 	return &Recorder{buf: make([]RecordedEvent, 0, n)}
 }

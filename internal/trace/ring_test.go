@@ -55,10 +55,21 @@ func TestRecorderCopiesEvent(t *testing.T) {
 	}
 }
 
-func TestRecorderMinimumCapacity(t *testing.T) {
-	r := NewRecorder(0)
-	if r.Cap() < 1 {
-		t.Fatalf("cap = %d, want >= 1", r.Cap())
+func TestRecorderDefaultCapacity(t *testing.T) {
+	// Non-positive capacities clamp to the documented default rather than
+	// producing a useless one-slot (or panicking zero-slot) ring.
+	for _, n := range []int{0, -1, -512} {
+		r := NewRecorder(n)
+		if r.Cap() != DefaultRecorderCapacity {
+			t.Fatalf("NewRecorder(%d).Cap() = %d, want DefaultRecorderCapacity (%d)",
+				n, r.Cap(), DefaultRecorderCapacity)
+		}
+		// The clamped ring must actually record.
+		ev := mkEvent("ev", MatMul, Neural, time.Millisecond, 1, 1)
+		r.Record("req", &ev)
+		if got := len(r.Snapshot()); got != 1 {
+			t.Fatalf("NewRecorder(%d) snapshot = %d entries, want 1", n, got)
+		}
 	}
 }
 
