@@ -6,12 +6,14 @@
 //
 //	nsbench -experiment all
 //	nsbench -experiment fig2a|fig2b|fig2c|fig3a|fig3b|fig3c|fig4|fig5|tab1|tab4|sweep
+//	nsbench -batch 8    # continuous-batching comparison: 1 batched pass of 8 vs 8 solo runs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
@@ -27,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
 	chromeTrace := flag.String("chrome-trace", "", "write the suite's merged operator timeline (Chrome trace-event JSON, loadable in Perfetto) to this file; needs a suite experiment (fig2a/fig3*/fig4/all)")
+	batch := flag.Int("batch", 0, "run the continuous-batching comparison instead of -experiment: one batched pass of N items vs N sequential solo runs, per workload (N >= 2)")
 	flag.Parse()
 
 	dev, err := hwsim.DeviceByName(*device)
@@ -36,6 +39,15 @@ func main() {
 	eng := ops.Config{Backend: *backendName, Workers: *workers}
 	if err := eng.Validate(); err != nil {
 		fatal(err)
+	}
+	if *batch != 0 {
+		if *batch < 2 {
+			fatal(fmt.Errorf("-batch needs N >= 2, got %d", *batch))
+		}
+		if err := runBatchCompare(*batch, dev, eng); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	var reg *metrics.Registry
 	if *metricsOut != "" {
@@ -72,6 +84,47 @@ func dumpMetrics(reg *metrics.Registry, path string) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nsbench:", err)
 	os.Exit(1)
+}
+
+// runBatchCompare times, per registered workload, n sequential solo
+// characterizations against one batched pass of n items and prints the
+// wall-clock speedup. Workloads with a native RunBatch amortize their
+// shared work across the batch; the rest go through the loop-per-item
+// adapter, whose speedup is ~1x — the table shows which is which.
+func runBatchCompare(n int, dev hwsim.Device, eng ops.Config) error {
+	pool := eng.NewPool()
+	defer pool.Close()
+	opts := core.Options{Engine: eng, Pool: pool, Device: dev}
+	fmt.Printf("Continuous batching — one batched pass of n=%d vs n sequential solo runs\n", n)
+	fmt.Printf("%-16s %14s %14s %9s\n", "model", "sequential", "batched", "speedup")
+	for _, name := range core.WorkloadNames() {
+		seqStart := time.Now()
+		for i := 0; i < n; i++ {
+			wl, err := core.BuildWorkload(name)
+			if err != nil {
+				return err
+			}
+			_, rerr := core.Characterize(wl, opts)
+			core.CloseWorkload(wl)
+			if rerr != nil {
+				return rerr
+			}
+		}
+		seq := time.Since(seqStart)
+		bw, err := core.BuildBatchWorkload(name)
+		if err != nil {
+			return err
+		}
+		batStart := time.Now()
+		_, rerr := core.CharacterizeBatch(bw, n, opts)
+		core.CloseWorkload(bw)
+		if rerr != nil {
+			return rerr
+		}
+		bat := time.Since(batStart)
+		fmt.Printf("%-16s %14v %14v %8.2fx\n", name, seq.Round(time.Millisecond), bat.Round(time.Millisecond), float64(seq)/float64(bat))
+	}
+	return nil
 }
 
 // writeChromeTrace merges the suite reports' traces into one timeline and

@@ -2,11 +2,16 @@
 // that executes neuro-symbolic workload characterizations on a shared
 // backend worker pool, caches the deterministic reports, deduplicates
 // concurrent identical requests, and sheds load with 429s when its
-// admission queue fills.
+// admission queue fills. Cache-missing requests for the same workload
+// arriving within -batch-window (2ms by default) coalesce into one
+// batched engine pass with per-item reports — see the "Batching" section
+// of the README.
 //
 // Usage:
 //
 //	nsserve -addr :8080 -backend parallel -workers 4
+//	nsserve -batch-window 5ms -batch-max 16   # wider request coalescing
+//	nsserve -batch-window 0                   # disable coalescing
 //
 //	curl localhost:8080/v1/workloads
 //	curl -X POST localhost:8080/v1/characterize -d '{"workload":"NVSA"}'
@@ -56,6 +61,8 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 0, "time to answer 503 on /readyz before the listener closes (lets routers eject this replica first)")
 	recorderSize := flag.Int("flight-recorder", 0, "flight-recorder capacity in events (0 = default 512, negative disables)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "request-coalescing window: cache-missing requests for the same workload arriving within it run as one batched engine pass (0 disables)")
+	batchMax := flag.Int("batch-max", 0, "max requests coalesced into one batch (0 = default 8)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
@@ -72,6 +79,8 @@ func main() {
 		RecorderSize:   *recorderSize,
 		Logger:         logger,
 		Pprof:          *enablePprof,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// detView is the deterministic subset of a Report: every field that is a
+// pure function of the workload's seeded construction, excluding anything
+// derived from wall-clock durations (latencies, time shares, projections).
+type detView struct {
+	Name              string             `json:"name"`
+	Category          string             `json:"category"`
+	SymbolicFLOPShare float64            `json:"symbolic_flop_share"`
+	MovementH2DPct    float64            `json:"movement_h2d_pct"`
+	Memory            MemoryReport       `json:"memory"`
+	Roofline          []detRoofline      `json:"roofline"`
+	Dataflow          detDataflow        `json:"dataflow"`
+	Stages            []trace.StageStats `json:"stages"`
+}
+
+type detRoofline struct {
+	Name string  `json:"name"`
+	AI   float64 `json:"arithmetic_intensity"`
+}
+
+type detDataflow struct {
+	Events           int `json:"events"`
+	Edges            int `json:"edges"`
+	Depth            int `json:"depth"`
+	MaxWidth         int `json:"max_width"`
+	NeuralToSymbolic int `json:"neural_to_symbolic_edges"`
+	SymbolicToNeural int `json:"symbolic_to_neural_edges"`
+}
+
+// detJSON marshals the deterministic view for byte comparison. Stage Dur
+// is wall time and is zeroed, and SequentialFraction is omitted because it
+// is duration-weighted (critical-path time over total time); everything
+// else is kept.
+func detJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	v := detView{
+		Name:              r.Name,
+		Category:          r.Category,
+		SymbolicFLOPShare: r.SymbolicFLOPShare,
+		MovementH2DPct:    r.MovementH2DPct,
+		Memory:            r.Memory,
+		Dataflow: detDataflow{
+			Events:           r.Dataflow.Events,
+			Edges:            r.Dataflow.Edges,
+			Depth:            r.Dataflow.Depth,
+			MaxWidth:         r.Dataflow.MaxWidth,
+			NeuralToSymbolic: r.Dataflow.NeuralToSymbolic,
+			SymbolicToNeural: r.Dataflow.SymbolicToNeural,
+		},
+	}
+	for _, p := range r.Roofline {
+		v.Roofline = append(v.Roofline, detRoofline{Name: p.Name, AI: p.AI})
+	}
+	for _, s := range r.Stages {
+		s.Dur = 0
+		v.Stages = append(v.Stages, s)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal deterministic view: %v", err)
+	}
+	return b
+}
+
+// TestCharacterizeBatchMatchesSequential is the batching correctness
+// property: for every registered workload, on both backends, a batch of n
+// splits into per-item reports whose deterministic fields are
+// byte-identical to n sequential solo characterizations on fresh
+// instances, and whose per-item traces match the solo traces event for
+// event (modulo wall time and tensor IDs). Native workloads exercise the
+// uniform-split path; the rest exercise the loop-per-item adapter.
+func TestCharacterizeBatchMatchesSequential(t *testing.T) {
+	const n = 2
+	backends := []ops.Config{
+		{Backend: ops.BackendSerial},
+		{Backend: ops.BackendParallel, Workers: 4},
+	}
+	for _, name := range WorkloadNames() {
+		for _, eng := range backends {
+			name, eng := name, eng
+			t.Run(fmt.Sprintf("%s/%s", name, eng.Backend), func(t *testing.T) {
+				t.Parallel()
+				var want [][]byte
+				var solo []*Report
+				for i := 0; i < n; i++ {
+					w, err := BuildWorkload(name)
+					if err != nil {
+						t.Fatalf("build: %v", err)
+					}
+					r, err := Characterize(w, Options{Engine: eng})
+					CloseWorkload(w)
+					if err != nil {
+						t.Fatalf("sequential run %d: %v", i, err)
+					}
+					solo = append(solo, r)
+					want = append(want, detJSON(t, r))
+				}
+
+				bw, err := BuildBatchWorkload(name)
+				if err != nil {
+					t.Fatalf("build batch: %v", err)
+				}
+				if _, native := bw.(*loopBatch); !native {
+					t.Logf("%s: native batch path", name)
+				}
+				reports, err := CharacterizeBatch(bw, n, Options{Engine: eng})
+				CloseWorkload(bw)
+				if err != nil {
+					t.Fatalf("batch run: %v", err)
+				}
+				if len(reports) != n {
+					t.Fatalf("got %d reports for batch of %d", len(reports), n)
+				}
+				for i, r := range reports {
+					sameTraceModuloTiming(t, fmt.Sprintf("item %d", i), r.Trace, solo[i].Trace)
+					if got := detJSON(t, r); string(got) != string(want[i]) {
+						t.Errorf("item %d deterministic report fields diverge from sequential run:\nbatch: %s\nsolo:  %s", i, got, want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAdapterPathOnNativeWorkloads forces the loop-per-item adapter onto
+// workloads that implement BatchWorkload natively, pinning that both
+// batching mechanisms agree with sequential execution.
+func TestAdapterPathOnNativeWorkloads(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := BuildWorkload(name)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if _, ok := w.(BatchWorkload); !ok {
+				CloseWorkload(w)
+				t.Skip("adapter is the default path; covered by the main property test")
+			}
+			builder := registry[name]
+			adapter := &loopBatch{name: w.Name(), category: w.Category(), build: builder, ownsItems: true}
+			CloseWorkload(w)
+
+			solo, err := func() (*Report, error) {
+				sw, err := BuildWorkload(name)
+				if err != nil {
+					return nil, err
+				}
+				defer CloseWorkload(sw)
+				return Characterize(sw, Options{})
+			}()
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			reports, err := CharacterizeBatch(adapter, 2, Options{})
+			if err != nil {
+				t.Fatalf("adapter batch: %v", err)
+			}
+			want := detJSON(t, solo)
+			for i, r := range reports {
+				sameTraceModuloTiming(t, fmt.Sprintf("item %d", i), r.Trace, solo.Trace)
+				if got := detJSON(t, r); string(got) != string(want) {
+					t.Errorf("adapter item %d diverges from sequential run:\nbatch: %s\nsolo:  %s", i, got, want)
+				}
+			}
+		})
+	}
+}

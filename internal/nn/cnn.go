@@ -25,7 +25,12 @@ func NewConvBlock(g *tensor.RNG, name string, cin, cout, k, stride, pad int, poo
 
 // Forward applies the block.
 func (b *ConvBlock) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
-	x = b.Conv.Forward(e, x)
+	return b.ForwardBatch(e, x, 1)
+}
+
+// ForwardBatch applies the block over `items` stacked batch blocks.
+func (b *ConvBlock) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
+	x = b.Conv.ForwardBatch(e, x, items)
 	x = b.BN.Forward(e, x)
 	x = e.ReLU(x)
 	if b.Pool {
@@ -62,10 +67,15 @@ func NewResidualBlock(g *tensor.RNG, name string, c int) *ResidualBlock {
 
 // Forward applies conv-bn-relu-conv-bn, adds the skip connection, and applies ReLU.
 func (r *ResidualBlock) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
-	y := r.C1.Forward(e, x)
+	return r.ForwardBatch(e, x, 1)
+}
+
+// ForwardBatch applies the block over `items` stacked batch blocks.
+func (r *ResidualBlock) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
+	y := r.C1.ForwardBatch(e, x, items)
 	y = r.B1.Forward(e, y)
 	y = e.ReLU(y)
-	y = r.C2.Forward(e, y)
+	y = r.C2.ForwardBatch(e, y, items)
 	y = r.B2.Forward(e, y)
 	y = e.Add(y, x)
 	return e.ReLU(y)
@@ -125,12 +135,22 @@ func NewCNN(g *tensor.RNG, name string, cfg CNNConfig) *CNN {
 // Forward encodes an N×C×H×W batch into N×OutDim embeddings (or N×C
 // pooled features when OutDim is 0).
 func (c *CNN) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	return c.ForwardBatch(e, x, 1)
+}
+
+// ForwardBatch encodes `items` stacked N×C×H×W blocks in one pass,
+// accounting shared weight traffic per item.
+func (c *CNN) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
 	for _, b := range c.blocks {
-		x = b.Forward(e, x)
+		if bl, ok := b.(BatchLayer); ok {
+			x = bl.ForwardBatch(e, x, items)
+		} else {
+			x = b.Forward(e, x)
+		}
 	}
 	x = e.GlobalAvgPool2D(x)
 	if c.head != nil {
-		x = c.head.Forward(e, x)
+		x = c.head.ForwardBatch(e, x, items)
 	}
 	return x
 }

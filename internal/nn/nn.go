@@ -49,10 +49,18 @@ func NewLinear(g *tensor.RNG, name string, in, out int, bias bool) *Linear {
 
 // Forward computes the affine map for a (batch × in) input.
 func (l *Linear) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
+	return l.ForwardBatch(e, x, 1)
+}
+
+// ForwardBatch computes the affine map for an input stacking `items` row
+// blocks (the serving-batch layout): the GEMM accounts the shared weight
+// traffic once per item, so the recorded cost is exactly items× one
+// block's Forward.
+func (l *Linear) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
 	if x.Rank() != 2 {
 		panic(fmt.Sprintf("nn: Linear %q expects rank-2 input, got %v", l.Name, x.Shape()))
 	}
-	y := e.MatMul(x, l.wT)
+	y := e.MatMulBatch(x, l.wT, items)
 	if l.B != nil {
 		// Broadcast-add bias row-wise: materialize the broadcast so the
 		// traffic is accounted.
@@ -113,7 +121,14 @@ func NewConv2d(g *tensor.RNG, name string, cin, cout, k, stride, pad int) *Conv2
 
 // Forward applies the convolution.
 func (c *Conv2d) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
-	return e.Conv2D(x, c.W, c.B, c.Stride, c.Pad)
+	return c.ForwardBatch(e, x, 1)
+}
+
+// ForwardBatch applies the convolution to an input stacking `items`
+// batch blocks along the leading axis, accounting the shared kernel
+// traffic per item.
+func (c *Conv2d) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
+	return e.Conv2DBatch(x, c.W, c.B, c.Stride, c.Pad, items)
 }
 
 // Register records the layer parameters.
@@ -213,6 +228,16 @@ func (a *Activation) Register(*ops.Engine) {}
 // ParamBytes returns 0.
 func (a *Activation) ParamBytes() int64 { return 0 }
 
+// BatchLayer is a layer that accounts a leading serving-batch dimension:
+// the input stacks `items` independent blocks, and weight-bearing ops
+// record their shared-parameter traffic once per item so the trace stays
+// uniformly items× one block's pass. ForwardBatch with items 1 must be
+// identical to Forward.
+type BatchLayer interface {
+	Layer
+	ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor
+}
+
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
@@ -225,6 +250,20 @@ func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: lay
 func (s *Sequential) Forward(e *ops.Engine, x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range s.Layers {
 		x = l.Forward(e, x)
+	}
+	return x
+}
+
+// ForwardBatch applies each layer in order, threading the serving-batch
+// item count through layers that account it; batch-transparent layers
+// (activations, norms — whose costs scale with tensor size) run as is.
+func (s *Sequential) ForwardBatch(e *ops.Engine, x *tensor.Tensor, items int) *tensor.Tensor {
+	for _, l := range s.Layers {
+		if bl, ok := l.(BatchLayer); ok {
+			x = bl.ForwardBatch(e, x, items)
+		} else {
+			x = l.Forward(e, x)
+		}
 	}
 	return x
 }

@@ -41,10 +41,21 @@ type Engine struct {
 	measureSparsity bool
 	sparsityEps     float32
 
+	// replicas amplifies recorded costs: every event's FLOPs, Bytes and
+	// Alloc are multiplied by it. Batched workloads set it to the batch
+	// size around regions they execute once on behalf of N identical
+	// items (shared symbolic passes, fixed-cost reshapes), so the trace
+	// stays uniformly N× a solo run and splits exactly. 0 means 1.
+	replicas int
+
 	// observer, when set, sees every event as it is recorded (live
 	// metrics). It must be concurrency-safe: forked engines share it.
 	observer trace.Observer
 }
+
+// defaultSparsityEps is the zero-threshold a fresh engine measures
+// sparsity with until a workload overrides it.
+const defaultSparsityEps float32 = 1e-6
 
 // New returns an engine recording into a fresh trace, starting in the
 // neural phase on the serial backend. Options select a different backend:
@@ -52,7 +63,7 @@ type Engine struct {
 //	ops.New(ops.WithParallelism(4))
 //	ops.New(ops.WithBackend(sharedBackend))
 func New(opts ...Option) *Engine {
-	e := &Engine{tr: trace.New(), be: backend.Serial{}, phase: trace.Neural, sparsityEps: 1e-6}
+	e := &Engine{tr: trace.New(), be: backend.Serial{}, phase: trace.Neural, sparsityEps: defaultSparsityEps}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -93,6 +104,7 @@ func (e *Engine) Fork(n int) []*Engine {
 			worker:          i + 1,
 			measureSparsity: e.measureSparsity,
 			sparsityEps:     e.sparsityEps,
+			replicas:        e.replicas,
 			observer:        e.observer,
 		}
 		k.kt = newKernelTracer(e.be, k.worker)
@@ -172,6 +184,50 @@ func (e *Engine) InStage(s string, f func()) {
 		e.stage = old
 	}()
 	f()
+}
+
+// SetReplicas amplifies every subsequently recorded event's FLOPs, Bytes
+// and Alloc by k, declaring that one execution stands for k identical
+// items of a batch. k <= 1 restores normal recording. Batched workloads
+// use it around shared regions (e.g. a symbolic pass over replicated
+// inputs) so a batch-of-N trace is uniformly N× the solo trace.
+func (e *Engine) SetReplicas(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.replicas = k
+}
+
+// Replicas returns the active replica amplification factor (at least 1).
+func (e *Engine) Replicas() int {
+	if e.replicas < 1 {
+		return 1
+	}
+	return e.replicas
+}
+
+// InReplicas runs f with the replica factor set to k, then restores the
+// previous factor. Use it to wrap fixed-cost operators (reshapes, shared
+// weight transposes) inside an otherwise materialized batch region, where
+// tensor sizes do not scale with the batch.
+func (e *Engine) InReplicas(k int, f func()) {
+	old := e.replicas
+	e.SetReplicas(k)
+	defer func() { e.replicas = old }()
+	f()
+}
+
+// ResetRunState restores the recording defaults a fresh engine starts
+// with — neural phase, no stage label, sparsity measurement off at the
+// default epsilon, no replica amplification — without touching the trace.
+// The loop-per-item batch adapter calls it between items so each item
+// begins from the state its solo run would see.
+func (e *Engine) ResetRunState() {
+	e.phase = trace.Neural
+	e.stage = ""
+	e.measureSparsity = false
+	e.sparsityEps = defaultSparsityEps
+	e.replicas = 0
 }
 
 // MeasureSparsity toggles per-event output sparsity measurement.
@@ -256,6 +312,15 @@ func (e *Engine) record(o op, run func() []*tensor.Tensor) []*tensor.Tensor {
 		alloc += out.Bytes()
 	}
 	ev.Alloc = alloc
+	// Replica amplification: one execution standing for k identical batch
+	// items records k× the analytic costs. Duration is left as measured —
+	// the batch ran the work once, and that is the point of batching.
+	if e.replicas > 1 {
+		k := int64(e.replicas)
+		ev.FLOPs *= k
+		ev.Bytes *= k
+		ev.Alloc *= k
+	}
 	// Sparsity is measured on the primary output when it is a real tensor;
 	// scalars carry no sparsity structure and would distort stage averages.
 	if e.measureSparsity && len(outs) > 0 && outs[0] != nil && outs[0].Size() > 1 {

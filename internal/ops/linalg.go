@@ -18,6 +18,25 @@ func (e *Engine) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulOn(e.be, a, b)} }))
 }
 
+// MatMulBatch records a GEMM whose left operand stacks `batch` row blocks
+// sharing the right operand (the serving-batch layout: one weight matrix,
+// n items). It executes the same folded (batch·m)×k × k×n kernel as
+// MatMul, but accounts the shared operand's traffic once per item — under
+// replica semantics every item reads the weights — so the recorded cost
+// is exactly batch× the per-item GEMM and the trace splits uniformly.
+// With batch 1 it records exactly what MatMul records.
+func (e *Engine) MatMulBatch(a, b *tensor.Tensor, batch int) *tensor.Tensor {
+	m, k, n := a.Dim(0)/batch, a.Dim(1), b.Dim(1)
+	return one(e.record(op{
+		name:     "MatMul",
+		kernel:   "sgemm_nn",
+		category: trace.MatMul,
+		flops:    int64(batch) * tensor.FlopsMatMul(m, k, n),
+		bytes:    int64(batch) * tensor.BytesMatMul(m, k, n),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulOn(e.be, a, b)} }))
+}
+
 // MatVec records an instrumented GEMV.
 func (e *Engine) MatVec(a, x *tensor.Tensor) *tensor.Tensor {
 	m, k := a.Dim(0), a.Dim(1)
@@ -69,6 +88,26 @@ func (e *Engine) Conv2D(in, w, bias *tensor.Tensor, stride, pad int) *tensor.Ten
 		category: trace.Convolution,
 		flops:    tensor.FlopsConv2D(n, cin, cout, hout, wout, kh, kw),
 		bytes:    tensor.BytesConv2D(n, cin, h, wd, cout, hout, wout, kh, kw),
+		inputs:   []*tensor.Tensor{in, w, bias},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2DOn(e.be, in, w, bias, stride, pad)} }))
+}
+
+// Conv2DBatch records a convolution over `batch` stacked item blocks
+// sharing one kernel tensor. Like MatMulBatch, it runs the plain folded
+// kernel but accounts the shared weight (and bias) traffic per item, so
+// the event is exactly batch× a per-item Conv2D. With batch 1 it records
+// exactly what Conv2D records.
+func (e *Engine) Conv2DBatch(in, w, bias *tensor.Tensor, stride, pad, batch int) *tensor.Tensor {
+	n, cin, h, wd := in.Dim(0)/batch, in.Dim(1), in.Dim(2), in.Dim(3)
+	cout, kh, kw := w.Dim(0), w.Dim(2), w.Dim(3)
+	hout := (h+2*pad-kh)/stride + 1
+	wout := (wd+2*pad-kw)/stride + 1
+	return one(e.record(op{
+		name:     "Conv2D",
+		kernel:   "conv2d",
+		category: trace.Convolution,
+		flops:    int64(batch) * tensor.FlopsConv2D(n, cin, cout, hout, wout, kh, kw),
+		bytes:    int64(batch) * tensor.BytesConv2D(n, cin, h, wd, cout, hout, wout, kh, kw),
 		inputs:   []*tensor.Tensor{in, w, bias},
 	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2DOn(e.be, in, w, bias, stride, pad)} }))
 }

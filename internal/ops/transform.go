@@ -40,6 +40,19 @@ func (e *Engine) Reshape(a *tensor.Tensor, shape ...int) *tensor.Tensor {
 	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Reshape(shape...)} }))
 }
 
+// ReshapeBatch is Reshape for a tensor carrying batch stacked items: the
+// fixed per-item metadata cost is recorded batch times, while the output
+// allocation is already batch-scaled by construction.
+func (e *Engine) ReshapeBatch(a *tensor.Tensor, batch int, shape ...int) *tensor.Tensor {
+	return one(e.record(op{
+		name:     "Reshape",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    64 * int64(batch),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{a.Reshape(shape...)} }))
+}
+
 // Concat records an instrumented concatenation.
 func (e *Engine) Concat(axis int, ts ...*tensor.Tensor) *tensor.Tensor {
 	total := 0
@@ -177,6 +190,60 @@ func (e *Engine) SDDMM(pattern *sparse.CSR, a, b *tensor.Tensor) *sparse.CSR {
 		inputs:   []*tensor.Tensor{a, b},
 	}, func() []*tensor.Tensor {
 		out = pattern.SDDMM(a, b)
+		return nil
+	})
+	return out
+}
+
+// SliceAxis records an instrumented materialized slice along any axis.
+// It records the same event shape as Slice (the kernel is the same copy),
+// with the byte cost of the elements actually moved.
+func (e *Engine) SliceAxis(a *tensor.Tensor, axis, lo, hi int) *tensor.Tensor {
+	count := a.Size() / max(a.Dim(axis), 1) * (hi - lo)
+	return one(e.record(op{
+		name:     "Slice",
+		kernel:   "transform",
+		category: trace.DataTransform,
+		bytes:    tensor.BytesCopy(count),
+		inputs:   []*tensor.Tensor{a},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.SliceAxis(a, axis, lo, hi)} }))
+}
+
+// SpMMBatch records one instrumented batched SpMM: batch sparse matrices
+// sharing dimensions, each multiplying its row block of b (see
+// sparse.SpMMBatchOn). With batch 1 it records exactly what SpMM records.
+func (e *Engine) SpMMBatch(mats []*sparse.CSR, b *tensor.Tensor) *tensor.Tensor {
+	var nnz int64
+	var bytes int64
+	w := b.Dim(1)
+	for _, m := range mats {
+		nnz += int64(m.NNZ())
+		bytes += sparse.BytesSpMM(m.NNZ(), m.Rows, w)
+	}
+	return one(e.record(op{
+		name:     "SpMM",
+		kernel:   "spmm",
+		category: trace.MatMul,
+		flops:    2 * nnz * int64(w),
+		bytes:    bytes,
+		inputs:   []*tensor.Tensor{b},
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{sparse.SpMMBatchOn(e.be, mats, b)} }))
+}
+
+// SDDMMBatch records one instrumented batched SDDMM over a shared
+// sparsity pattern (see sparse.SDDMMBatchOn). With batch 1 it records
+// exactly what SDDMM records.
+func (e *Engine) SDDMMBatch(pattern *sparse.CSR, a, b *tensor.Tensor, batch int) []*sparse.CSR {
+	var out []*sparse.CSR
+	e.record(op{
+		name:     "SDDMM",
+		kernel:   "sddmm",
+		category: trace.MatMul,
+		flops:    int64(batch) * 2 * int64(pattern.NNZ()) * int64(a.Dim(1)),
+		bytes:    int64(batch) * sparse.BytesSpMM(pattern.NNZ(), pattern.Rows, a.Dim(1)),
+		inputs:   []*tensor.Tensor{a, b},
+	}, func() []*tensor.Tensor {
+		out = sparse.SDDMMBatchOn(e.be, pattern, a, b, batch)
 		return nil
 	})
 	return out

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/core"
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/tensor"
+)
+
+// batchTestWorkload is a native BatchWorkload whose work is entirely
+// shared across batch items: one solo-shaped pass under replica
+// amplification stands for the whole batch, so a coalesced pass of n
+// items costs about as much as a solo run. It is the serving analogue of
+// the paper's observation that small symbolic kernels cannot fill the
+// hardware — batching them is nearly free — and it is what gives
+// BenchmarkServeBatch a real batched/unbatched gap to measure.
+type batchTestWorkload struct{ dim int }
+
+func (w *batchTestWorkload) Name() string     { return "testbatch" }
+func (w *batchTestWorkload) Category() string { return "Test" }
+
+func (w *batchTestWorkload) Run(e *ops.Engine) error { return w.RunBatch(e, 1) }
+
+func (w *batchTestWorkload) RunBatch(e *ops.Engine, n int) error {
+	e.SetReplicas(n)
+	defer e.SetReplicas(1)
+	g := tensor.NewRNG(1)
+	a := g.Normal(0, 1, w.dim, w.dim)
+	b := g.Normal(0, 1, w.dim, w.dim)
+	c := e.MatMul(a, b)
+	e.Softmax(c)
+	return nil
+}
+
+var registerBatchOnce sync.Once
+
+func registerBatchWorkload() {
+	registerBatchOnce.Do(func() {
+		core.RegisterWorkload("testbatch", func() core.Workload { return &batchTestWorkload{dim: 160} })
+	})
+}
+
+// postDevice issues one characterize request for workload on device.
+func postDevice(h http.Handler, workload, device string) int {
+	rec := post(h, fmt.Sprintf(`{"workload":%q,"device":%q}`, workload, device))
+	return rec.Code
+}
+
+// TestCoalescerFlushOnFull verifies grouping: three concurrent misses for
+// the same workload on distinct devices coalesce into one engine pass
+// (BatchMax reached — the long window never expires), every item's report
+// lands in the cache under its own key, and the stats expose the batch.
+func TestCoalescerFlushOnFull(t *testing.T) {
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(t, Config{BatchWindow: 500 * time.Millisecond, BatchMax: 3})
+	h := s.Handler()
+	devs := hwsim.AllDevices()[:3]
+
+	var wg sync.WaitGroup
+	codes := make([]int, len(devs))
+	for i, d := range devs {
+		wg.Add(1)
+		go func(i int, dev string) {
+			defer wg.Done()
+			codes[i] = postDevice(h, "testbatch", dev)
+		}(i, d.Name)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d (%s): status %d", i, devs[i].Name, code)
+		}
+	}
+	if got := s.st.batches.Value(); got != 1 {
+		t.Fatalf("batches = %d, want 1 (one coalesced pass)", got)
+	}
+	if got := s.st.batchItems.Value(); got != 3 {
+		t.Fatalf("batch items = %d, want 3", got)
+	}
+	if got := s.st.coalesceFlushes.With("full").Value(); got != 1 {
+		t.Fatalf("full flushes = %d, want 1", got)
+	}
+	snap := s.st.snapshot()
+	if snap.BatchesRun != 1 || snap.AvgOccupancy != 3 {
+		t.Fatalf("snapshot batches_run=%d avg_occupancy=%v, want 1 / 3", snap.BatchesRun, snap.AvgOccupancy)
+	}
+	// Every item filled the cache individually.
+	for _, d := range devs {
+		rec := post(h, fmt.Sprintf(`{"workload":"testbatch","device":%q}`, d.Name))
+		if rec.Code != http.StatusOK || rec.Header().Get("X-NSServe-Cache") != "hit" {
+			t.Fatalf("device %s after batch: status %d cache %q, want 200 hit",
+				d.Name, rec.Code, rec.Header().Get("X-NSServe-Cache"))
+		}
+	}
+}
+
+// TestCoalescerWindowFlush verifies the timer path: a lone miss waits out
+// the window, then runs as an occupancy-1 pass.
+func TestCoalescerWindowFlush(t *testing.T) {
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(t, Config{BatchWindow: 2 * time.Millisecond})
+	if code := postDevice(s.Handler(), "testbatch", ""); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got := s.st.coalesceFlushes.With("window").Value(); got != 1 {
+		t.Fatalf("window flushes = %d, want 1", got)
+	}
+	snap := s.st.snapshot()
+	if snap.BatchesRun != 1 || snap.AvgOccupancy != 1 {
+		t.Fatalf("snapshot batches_run=%d avg_occupancy=%v, want 1 / 1", snap.BatchesRun, snap.AvgOccupancy)
+	}
+}
+
+// TestCoalescerCloseDrainsPendingGroups verifies Close answers waiters
+// whose group is still inside its window instead of leaving them to time
+// out against a closed queue.
+func TestCoalescerCloseDrainsPendingGroups(t *testing.T) {
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(t, Config{BatchWindow: 10 * time.Second})
+	h := s.Handler()
+
+	code := make(chan int, 1)
+	go func() { code <- postDevice(h, "testbatch", "") }()
+	waitFor(t, "pending group", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending) == 1
+	})
+	s.Close()
+	select {
+	case c := <-code:
+		if c != http.StatusOK {
+			t.Fatalf("drained request: status %d", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request still blocked after Close")
+	}
+	if got := s.st.coalesceFlushes.With("drain").Value(); got != 1 {
+		t.Fatalf("drain flushes = %d, want 1", got)
+	}
+}
+
+// TestCoalescerMixedWorkloadsGroupSeparately verifies the grouping key:
+// requests for different workloads never share a pass.
+func TestCoalescerMixedWorkloadsGroupSeparately(t *testing.T) {
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(t, Config{BatchWindow: 500 * time.Millisecond, BatchMax: 2})
+	h := s.Handler()
+	devs := hwsim.AllDevices()
+
+	var wg sync.WaitGroup
+	for _, wl := range []string{"testbatch", "testfast"} {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(wl, dev string) {
+				defer wg.Done()
+				if code := postDevice(h, wl, dev); code != http.StatusOK {
+					t.Errorf("%s on %s: status %d", wl, dev, code)
+				}
+			}(wl, devs[i].Name)
+		}
+	}
+	wg.Wait()
+	if got := s.st.batches.Value(); got != 2 {
+		t.Fatalf("batches = %d, want 2 (one per workload)", got)
+	}
+	if got := s.st.batchItems.Value(); got != 4 {
+		t.Fatalf("batch items = %d, want 4", got)
+	}
+}
+
+// TestCoalescerSoak is the race-detector smoke the CI runs: sustained
+// mixed hit/miss traffic over a small cache with a 2ms window, across
+// both the native-batch and adapter workloads and every device. It must
+// finish with zero failed characterizations and an average occupancy
+// above 1 (i.e. real coalescing happened). Gated behind
+// NSBENCH_COALESCER_SOAK because it burns a few wall-clock seconds.
+func TestCoalescerSoak(t *testing.T) {
+	if os.Getenv("NSBENCH_COALESCER_SOAK") == "" {
+		t.Skip("set NSBENCH_COALESCER_SOAK=1 to run the coalescer soak")
+	}
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(t, Config{
+		BatchWindow: 2 * time.Millisecond,
+		BatchMax:    8,
+		CacheSize:   3, // smaller than the key space: sustained misses
+		QueueDepth:  256,
+		Concurrency: 2,
+	})
+	h := s.Handler()
+	devs := hwsim.AllDevices()
+	workloads := []string{"testbatch", "testfast"}
+
+	const clients = 16
+	const perClient = 30
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				// Clients share the (workload, device) schedule: roughly
+				// in-lockstep clients hit what the leader cached moments
+				// ago, drifted clients miss — the sustained hit/miss mix.
+				wl := workloads[(c+i)%len(workloads)]
+				dev := devs[i%len(devs)].Name
+				if code := postDevice(h, wl, dev); code != http.StatusOK {
+					bad.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d requests failed", n)
+	}
+	if n := s.st.failures.Value(); n != 0 {
+		t.Fatalf("%d characterizations failed", n)
+	}
+	snap := s.st.snapshot()
+	if snap.BatchesRun == 0 || snap.AvgOccupancy <= 1 {
+		t.Fatalf("soak saw no real coalescing: batches_run=%d avg_occupancy=%v",
+			snap.BatchesRun, snap.AvgOccupancy)
+	}
+	t.Logf("soak: %d batches, avg occupancy %.2f, %d cache hits, %d misses",
+		snap.BatchesRun, snap.AvgOccupancy, snap.CacheHits, snap.CacheMiss)
+}

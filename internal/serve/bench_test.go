@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/hwsim"
 )
 
 // BenchmarkServeCacheHit measures the hot path: canonicalize, cache lookup,
@@ -40,5 +46,61 @@ func BenchmarkServeMiss(b *testing.B) {
 		if rec := post(h, `{"workload":"testfast"}`); rec.Code != http.StatusOK {
 			b.Fatalf("request: %d %s", rec.Code, rec.Body)
 		}
+	}
+}
+
+// benchServeConcurrent drives b.N cache-missing characterize requests
+// through cfg with the given client concurrency, cycling the analysis
+// device so concurrent requests carry distinct cache keys (identical keys
+// would measure singleflight, not the execution path under test).
+func benchServeConcurrent(b *testing.B, cfg Config, clients int) {
+	resetCtl(false)
+	registerBatchWorkload()
+	s := newTestServer(b, cfg)
+	h := s.Handler()
+	devs := hwsim.AllDevices()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				dev := devs[i%len(devs)].Name
+				rec := post(h, fmt.Sprintf(`{"workload":"testbatch","device":%q}`, dev))
+				if rec.Code != http.StatusOK {
+					b.Errorf("request: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeBatch compares cache-miss serving throughput with and
+// without request coalescing at client concurrencies 8 and 32. The
+// workload is the native-batch testbatch, whose amplified pass makes a
+// coalesced batch of n cost about one solo run — the serving win the
+// batching tier exists for. Results are recorded in BENCH_baseline.json.
+func BenchmarkServeBatch(b *testing.B) {
+	for _, clients := range []int{8, 32} {
+		b.Run(fmt.Sprintf("unbatched/c%d", clients), func(b *testing.B) {
+			benchServeConcurrent(b, Config{CacheSize: -1, QueueDepth: 256}, clients)
+		})
+		b.Run(fmt.Sprintf("batched/c%d", clients), func(b *testing.B) {
+			benchServeConcurrent(b, Config{
+				CacheSize:   -1,
+				QueueDepth:  256,
+				BatchWindow: 2 * time.Millisecond,
+				BatchMax:    8,
+			}, clients)
+		})
 	}
 }

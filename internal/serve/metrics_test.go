@@ -133,13 +133,20 @@ func TestStatsMatchesMetrics(t *testing.T) {
 }
 
 // TestStatsJSONShape pins the exact field set and order of /v1/stats so
-// the endpoint stays byte-compatible with the pre-metrics servers.
+// the endpoint stays byte-compatible with the pre-metrics servers: every
+// pre-batching field keeps its position, and the batching counters only
+// append after them.
 func TestStatsJSONShape(t *testing.T) {
 	resetCtl(false)
 	s := newTestServer(t, Config{})
 	rec := get(s.Handler(), "/v1/stats")
-	want := `{"requests":0,"cache_hits":0,"cache_misses":0,"dedup_joins":0,"rejected":0,"timeouts":0,"abandoned":0,"failures":0,"runs":0,"run_nanos_total":0,"avg_run_nanos":0,"cache_size":0,"queue_depth":0}`
-	if got := strings.TrimSpace(rec.Body.String()); got != want {
+	prefix := `{"requests":0,"cache_hits":0,"cache_misses":0,"dedup_joins":0,"rejected":0,"timeouts":0,"abandoned":0,"failures":0,"runs":0,"run_nanos_total":0,"avg_run_nanos":0,"cache_size":0,"queue_depth":0`
+	want := prefix + `,"batches_run":0,"avg_occupancy":0}`
+	got := strings.TrimSpace(rec.Body.String())
+	if !strings.HasPrefix(got, prefix) {
+		t.Fatalf("/v1/stats pre-batching prefix changed:\ngot:  %s\nwant prefix: %s", got, prefix)
+	}
+	if got != want {
 		t.Fatalf("/v1/stats shape changed:\ngot:  %s\nwant: %s", got, want)
 	}
 }

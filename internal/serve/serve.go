@@ -82,6 +82,16 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
 	// default: profiling endpoints are opt-in on shared deployments.
 	Pprof bool
+	// BatchWindow, when positive, enables request coalescing: cache-missing
+	// requests for the same workload arriving within the window execute as
+	// one batched engine pass with per-item reports (and cache fills).
+	// Zero disables coalescing — the library default; cmd/nsserve enables
+	// it with a 2ms window.
+	BatchWindow time.Duration
+	// BatchMax caps how many requests coalesce into one batch; a full
+	// group flushes immediately instead of waiting out the window. 0
+	// selects 8. Only meaningful with BatchWindow > 0.
+	BatchMax int
 }
 
 func (c *Config) defaults() {
@@ -99,6 +109,9 @@ func (c *Config) defaults() {
 	}
 	if c.RecorderSize == 0 {
 		c.RecorderSize = trace.DefaultRecorderCapacity
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
 	}
 }
 
@@ -192,8 +205,13 @@ type Server struct {
 	flights  map[string]*flight
 	shutdown bool
 
-	queue chan *flight
-	wg    sync.WaitGroup // characterization workers
+	// queue carries dequeued batches to the workers: one entry per engine
+	// pass, holding every flight the pass serves (a single flight when
+	// coalescing is off). pending holds the batch groups still inside
+	// their coalescing window, keyed by workload name.
+	queue   chan []*flight
+	pending map[string]*batchGroup
+	wg      sync.WaitGroup // characterization workers
 
 	workloadsOnce sync.Once
 	workloadsJSON []byte
@@ -242,7 +260,8 @@ func New(cfg Config) (*Server, error) {
 		pool:    cfg.Engine.NewPool(),
 		cache:   newLRU(cfg.CacheSize),
 		flights: make(map[string]*flight),
-		queue:   make(chan *flight, cfg.QueueDepth),
+		queue:   make(chan []*flight, cfg.QueueDepth),
+		pending: make(map[string]*batchGroup),
 		reg:     reg,
 		st:      newStats(reg),
 		httpReqs: reg.CounterVec("nsserve_http_requests_total",
@@ -446,6 +465,10 @@ func (s *Server) Close() {
 		s.draining.Store(true)
 		s.mu.Lock()
 		s.shutdown = true
+		// Flush groups still inside their window so their waiters are
+		// answered; timers that fire later see flushed groups (or the
+		// shutdown flag) and never touch the closed queue.
+		s.drainPendingLocked()
 		s.mu.Unlock()
 		close(s.queue)
 		s.wg.Wait()
@@ -544,18 +567,15 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		// worker, or a fast dequeue could mistake it for abandoned.
 		f.join()
 		// Admission happens under the same lock that guards shutdown, so
-		// a send can never race the queue close; the queue is buffered,
-		// making the reservation non-blocking.
-		select {
-		case s.queue <- f:
-			s.flights[key] = f
-		default:
+		// a send can never race the queue close.
+		if !s.admitLocked(f) {
 			s.mu.Unlock()
 			s.st.rejected.Inc()
 			w.Header().Set("Retry-After", s.retryAfterHint())
 			http.Error(w, "characterization queue is full", http.StatusTooManyRequests)
 			return
 		}
+		s.flights[key] = f
 	}
 	s.mu.Unlock()
 	defer f.leave()
@@ -612,6 +632,11 @@ func (s *Server) retryAfterHint() string {
 		mean = time.Duration(s.st.runNanos.Value() / runs)
 	}
 	est := time.Duration(float64(mean) * float64(len(s.queue)+1) / float64(s.cfg.Concurrency))
+	// With coalescing on, admission additionally waits out a batch window
+	// before a fresh group can even start executing.
+	if s.cfg.BatchWindow > 0 {
+		est += s.cfg.BatchWindow
+	}
 	secs := int(math.Ceil(est.Seconds()))
 	if secs < 1 {
 		secs = 1
@@ -625,8 +650,8 @@ func (s *Server) retryAfterHint() string {
 // worker executes queued flights until the queue is closed and drained.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for f := range s.queue {
-		s.runFlight(f)
+	for fs := range s.queue {
+		s.runBatch(fs)
 	}
 }
 

@@ -28,6 +28,16 @@ type stats struct {
 	runSeconds *metrics.Histogram
 	// inflight gauges the characterizations executing right now.
 	inflight *metrics.Gauge
+
+	// Coalescing (Config.BatchWindow > 0): batches counts engine passes
+	// dispatched through the coalescer (including singletons — occupancy 1
+	// means the window bought nothing), batchItems the requests those
+	// passes served, occupancy their size distribution, and
+	// coalesceFlushes why each group left its window (window, full, drain).
+	batches         *metrics.Counter
+	batchItems      *metrics.Counter
+	occupancy       *metrics.Histogram
+	coalesceFlushes *metrics.CounterVec
 }
 
 // newStats registers the serving counters in reg.
@@ -46,6 +56,12 @@ func newStats(reg *metrics.Registry) stats {
 		runNanos:   reg.Counter("nsserve_run_nanos_total", "Total wall time spent executing characterizations, in nanoseconds."),
 		runSeconds: reg.Histogram("nsserve_run_seconds", "Characterization execution latency.", metrics.LatencyBuckets()),
 		inflight:   reg.Gauge("nsserve_inflight_runs", "Characterizations executing right now."),
+		batches:    reg.Counter("nsserve_batches_total", "Engine passes dispatched through the request coalescer."),
+		batchItems: reg.Counter("nsserve_batch_items_total", "Requests served by coalesced engine passes."),
+		occupancy: reg.Histogram("nsserve_batch_occupancy", "Requests per coalesced engine pass.",
+			[]float64{1, 2, 4, 8, 16, 32}),
+		coalesceFlushes: reg.CounterVec("nsserve_coalesce_flushes_total",
+			"Batch group flushes by outcome (window expired, group full, drain on close).", "outcome"),
 	}
 }
 
@@ -76,6 +92,12 @@ type Snapshot struct {
 	// CacheSize and QueueDepth are point-in-time gauges.
 	CacheSize  int `json:"cache_size"`
 	QueueDepth int `json:"queue_depth"`
+	// BatchesRun counts engine passes dispatched through the request
+	// coalescer; AvgOccupancy is the mean requests served per such pass
+	// (0 with coalescing disabled). Appended after the pre-batching
+	// fields so existing consumers see an unchanged prefix.
+	BatchesRun   int64   `json:"batches_run"`
+	AvgOccupancy float64 `json:"avg_occupancy"`
 }
 
 // snapshot reads every counter once. Counters are read individually, so a
@@ -102,6 +124,10 @@ func (s *stats) snapshot() Snapshot {
 	}
 	if out.Runs > 0 {
 		out.AvgRunNanos = out.RunNanos / out.Runs
+	}
+	out.BatchesRun = int64(s.batches.Value())
+	if out.BatchesRun > 0 {
+		out.AvgOccupancy = float64(s.batchItems.Value()) / float64(out.BatchesRun)
 	}
 	return out
 }

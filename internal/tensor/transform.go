@@ -140,6 +140,37 @@ func Slice(a *Tensor, lo, hi int) *Tensor {
 	return out
 }
 
+// SliceAxis returns a[..., lo:hi, ...] along the given axis, materialized.
+// It generalizes Slice to any axis, which batched workloads need to carve
+// per-item panels out of a (batch, panels, ...) embedding block.
+func SliceAxis(a *Tensor, axis, lo, hi int) *Tensor {
+	r := a.Rank()
+	if axis < 0 || axis >= r {
+		panic(fmt.Sprintf("tensor: SliceAxis axis %d out of range for rank %d", axis, r))
+	}
+	d := a.shape[axis]
+	if lo < 0 || hi > d || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceAxis [%d,%d) out of range for dim %d", lo, hi, d))
+	}
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= a.shape[i]
+	}
+	inner := 1
+	for i := axis + 1; i < r; i++ {
+		inner *= a.shape[i]
+	}
+	outShape := append([]int(nil), a.shape...)
+	outShape[axis] = hi - lo
+	out := New(outShape...)
+	for o := 0; o < outer; o++ {
+		src := (o*d + lo) * inner
+		dst := o * (hi - lo) * inner
+		copy(out.data[dst:dst+(hi-lo)*inner], a.data[src:src+(hi-lo)*inner])
+	}
+	return out
+}
+
 // Row returns row i of a rank-≥1 tensor as a tensor with the leading axis removed.
 func Row(a *Tensor, i int) *Tensor {
 	s := Slice(a, i, i+1)

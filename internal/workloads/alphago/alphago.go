@@ -157,12 +157,19 @@ func (w *Workload) Register(e *ops.Engine) {
 
 // Run plays cfg.Moves self-play moves, each decided by an MCTS with
 // cfg.Simulations simulations.
-func (w *Workload) Run(e *ops.Engine) error {
+func (w *Workload) Run(e *ops.Engine) error { return w.RunBatch(e, 1) }
+
+// RunBatch plays the self-play game once for n batch replicas: leaf
+// evaluations run the network over a batch of n replicated board images,
+// while the tree operations — identical across replicas — execute once
+// under replica amplification. The search control flow (and therefore the
+// game) is exactly that of a solo run.
+func (w *Workload) RunBatch(e *ops.Engine, n int) error {
 	w.Register(e)
 	w.b = newBoard(w.cfg.Board)
 	player := int8(1)
 	for mv := 0; mv < w.cfg.Moves; mv++ {
-		move, err := w.Search(e, w.b, player)
+		move, err := w.searchBatch(e, w.b, player, n)
 		if err != nil {
 			return err
 		}
@@ -180,6 +187,12 @@ func (w *Workload) Run(e *ops.Engine) error {
 
 // Search runs MCTS from the position and returns the chosen move.
 func (w *Workload) Search(e *ops.Engine, root *board, player int8) (int, error) {
+	return w.searchBatch(e, root, player, 1)
+}
+
+// searchBatch is Search with a batch dimension on the neural leaf
+// evaluations and replica amplification on the symbolic tree operations.
+func (w *Workload) searchBatch(e *ops.Engine, root *board, player int8, batch int) (int, error) {
 	if root.full() {
 		return -1, nil
 	}
@@ -189,13 +202,15 @@ func (w *Workload) Search(e *ops.Engine, root *board, player int8) (int, error) 
 		n := rootNode
 		// ---- Symbolic: UCT selection down the tree ----------------------
 		e.SetPhase(trace.Symbolic)
-		e.InStage("mcts_select", func() {
-			e.Logic("UCTSelect", int64(len(n.children)+1), 64, nil, func() []*tensor.Tensor {
-				for n.expanded && len(n.children) > 0 {
-					n = bestChild(n)
-					b.cells[n.move] = n.player
-				}
-				return nil
+		e.InReplicas(batch, func() {
+			e.InStage("mcts_select", func() {
+				e.Logic("UCTSelect", int64(len(n.children)+1), 64, nil, func() []*tensor.Tensor {
+					for n.expanded && len(n.children) > 0 {
+						n = bestChild(n)
+						b.cells[n.move] = n.player
+					}
+					return nil
+				})
 			})
 		})
 		win := b.winner(w.cfg.Connect)
@@ -206,39 +221,43 @@ func (w *Workload) Search(e *ops.Engine, root *board, player int8) (int, error) 
 			// ---- Neural: value/policy evaluation of the leaf -------------
 			var priors *tensor.Tensor
 			e.SetPhase(trace.Neural)
-			feats := w.evaluate(e, b, -n.player)
-			priors = e.Softmax(w.pol.Forward(e, feats))
-			v := e.Tanh(w.val.Forward(e, feats))
-			value = -float64(v.At(0, 0)) // value from n.player's view
+			feats := w.evaluateBatch(e, b, -n.player, batch)
+			priors = e.Softmax(w.pol.ForwardBatch(e, feats, batch))
+			v := e.Tanh(w.val.ForwardBatch(e, feats, batch))
+			value = -float64(v.At(0, 0)) // value from n.player's view (item 0)
 
 			// ---- Symbolic: expansion with the network priors -------------
 			e.SetPhase(trace.Symbolic)
-			e.InStage("mcts_expand", func() {
-				e.Logic("Expand", int64(b.n*b.n), int64(b.n*b.n)*8, []*tensor.Tensor{priors}, func() []*tensor.Tensor {
-					for i, c := range b.cells {
-						if c == 0 {
-							n.children = append(n.children, &node{
-								move: i, player: -n.player, parent: n,
-								prior: priors.At(0, i),
-							})
+			e.InReplicas(batch, func() {
+				e.InStage("mcts_expand", func() {
+					e.Logic("Expand", int64(b.n*b.n), int64(b.n*b.n)*8, []*tensor.Tensor{priors}, func() []*tensor.Tensor {
+						for i, c := range b.cells {
+							if c == 0 {
+								n.children = append(n.children, &node{
+									move: i, player: -n.player, parent: n,
+									prior: priors.At(0, i),
+								})
+							}
 						}
-					}
-					n.expanded = true
-					return nil
+						n.expanded = true
+						return nil
+					})
 				})
 			})
 		}
 		// ---- Symbolic: backpropagation up the tree ----------------------
 		e.SetPhase(trace.Symbolic)
-		e.InStage("mcts_backup", func() {
-			e.Logic("Backup", 16, 64, nil, func() []*tensor.Tensor {
-				sign := 1.0
-				for cur := n; cur != nil; cur = cur.parent {
-					cur.visits++
-					cur.value += value * sign
-					sign = -sign
-				}
-				return nil
+		e.InReplicas(batch, func() {
+			e.InStage("mcts_backup", func() {
+				e.Logic("Backup", 16, 64, nil, func() []*tensor.Tensor {
+					sign := 1.0
+					for cur := n; cur != nil; cur = cur.parent {
+						cur.visits++
+						cur.value += value * sign
+						sign = -sign
+					}
+					return nil
+				})
 			})
 		})
 	}
@@ -261,19 +280,24 @@ func (w *Workload) Search(e *ops.Engine, root *board, player int8) (int, error) 
 	return best, nil
 }
 
-// evaluate encodes the board as a two-plane image and runs the trunk.
-func (w *Workload) evaluate(e *ops.Engine, b *board, toMove int8) *tensor.Tensor {
-	img := tensor.New(1, 2, b.n, b.n)
+// evaluateBatch encodes the board as a two-plane image, replicated batch
+// times along the leading axis, and runs the trunk over the whole batch.
+func (w *Workload) evaluateBatch(e *ops.Engine, b *board, toMove int8, batch int) *tensor.Tensor {
+	img := tensor.New(batch, 2, b.n, b.n)
+	plane := b.n * b.n
 	for i, c := range b.cells {
 		switch {
 		case c == toMove:
 			img.Data()[i] = 1
 		case c == -toMove:
-			img.Data()[b.n*b.n+i] = 1
+			img.Data()[plane+i] = 1
 		}
 	}
+	for k := 1; k < batch; k++ {
+		copy(img.Data()[k*2*plane:(k+1)*2*plane], img.Data()[:2*plane])
+	}
 	x := e.HostToDevice(img)
-	return w.net.Forward(e, x)
+	return w.net.ForwardBatch(e, x, batch)
 }
 
 // bestChild applies the PUCT criterion.

@@ -138,29 +138,52 @@ func (w *Workload) Run(e *ops.Engine) error {
 	return err
 }
 
+// RunBatch performs one forward pass for n batch replicas: the dense
+// transforms and the sparse relational kernels all carry a leading batch
+// dimension (n stacked row blocks over the shared knowledge graph).
+func (w *Workload) RunBatch(e *ops.Engine, n int) error {
+	_, err := w.ForwardBatch(e, n)
+	return err
+}
+
 // Forward computes Layers rounds of graph attention and returns the final
 // node embeddings.
 func (w *Workload) Forward(e *ops.Engine) (*tensor.Tensor, error) {
+	return w.ForwardBatch(e, 1)
+}
+
+// ForwardBatch runs the graph attention over batch stacked copies of the
+// node features — (batch·Nodes, Dim) throughout — against the one shared
+// adjacency structure, which is the serving case: one knowledge graph,
+// many concurrent queries.
+func (w *Workload) ForwardBatch(e *ops.Engine, batch int) (*tensor.Tensor, error) {
 	w.Register(e)
 	e.SetPhase(trace.Neural)
-	h := e.HostToDevice(w.feats)
+	feats := w.feats
+	if batch > 1 {
+		feats = tensor.New(batch*w.cfg.Nodes, w.cfg.Dim)
+		for i := 0; i < batch; i++ {
+			copy(feats.Data()[i*w.feats.Size():(i+1)*w.feats.Size()], w.feats.Data())
+		}
+	}
+	h := e.HostToDevice(feats)
 	for l := 0; l < w.cfg.Layers; l++ {
 		// ---- Neural: dense transforms -----------------------------------
 		e.SetPhase(trace.Neural)
-		q := w.wq[l].Forward(e, h)
-		k := w.wk[l].Forward(e, h)
-		v := w.wv[l].Forward(e, h)
+		q := w.wq[l].ForwardBatch(e, h, batch)
+		k := w.wk[l].ForwardBatch(e, h, batch)
+		v := w.wv[l].ForwardBatch(e, h, batch)
 
 		// ---- Symbolic: relational attention over the knowledge edges ----
 		e.SetPhase(trace.Symbolic)
 		var agg *tensor.Tensor
 		e.InStage("relational_attention", func() {
 			// SDDMM: attention logits only where edges exist.
-			logits := e.SDDMM(w.adj, q, k)
+			logits := e.SDDMMBatch(w.adj, q, k, batch)
 			// Edge softmax per row (the sparse normalization).
 			att := w.edgeSoftmax(e, logits, 1/float32(math.Sqrt(float64(w.cfg.Dim))))
 			// SpMM: attention-weighted neighbourhood aggregation.
-			agg = e.SpMM(att, v)
+			agg = e.SpMMBatch(att, v)
 		})
 		e.SetPhase(trace.Neural)
 		h = e.Tanh(agg)
@@ -168,41 +191,50 @@ func (w *Workload) Forward(e *ops.Engine) (*tensor.Tensor, error) {
 	return e.DeviceToHost(h), nil
 }
 
-// edgeSoftmax normalizes each row of a CSR attention matrix in place
-// (returned as a new CSR), recorded as a symbolic logic/eltwise pass.
-func (w *Workload) edgeSoftmax(e *ops.Engine, m *sparse.CSR, scale float32) *sparse.CSR {
-	out := &sparse.CSR{
-		Rows:   m.Rows,
-		Cols:   m.Cols,
-		RowPtr: append([]int(nil), m.RowPtr...),
-		Col:    append([]int(nil), m.Col...),
-		Val:    make([]float32, len(m.Val)),
+// edgeSoftmax normalizes each row of every CSR attention matrix in the
+// batch (returned as new CSRs), recorded as one symbolic logic/eltwise
+// pass whose cost covers all batch items.
+func (w *Workload) edgeSoftmax(e *ops.Engine, ms []*sparse.CSR, scale float32) []*sparse.CSR {
+	var total int64
+	outs := make([]*sparse.CSR, len(ms))
+	for i, m := range ms {
+		total += int64(len(m.Val))
+		outs[i] = &sparse.CSR{
+			Rows:   m.Rows,
+			Cols:   m.Cols,
+			RowPtr: append([]int(nil), m.RowPtr...),
+			Col:    append([]int(nil), m.Col...),
+			Val:    make([]float32, len(m.Val)),
+		}
 	}
-	e.Logic("EdgeSoftmax", int64(len(m.Val))*8, int64(len(m.Val))*8, nil, func() []*tensor.Tensor {
-		for r := 0; r < m.Rows; r++ {
-			lo, hi := m.RowPtr[r], m.RowPtr[r+1]
-			if lo == hi {
-				continue
-			}
-			maxv := m.Val[lo] * scale
-			for p := lo + 1; p < hi; p++ {
-				if v := m.Val[p] * scale; v > maxv {
-					maxv = v
+	e.Logic("EdgeSoftmax", total*8, total*8, nil, func() []*tensor.Tensor {
+		for i, m := range ms {
+			out := outs[i]
+			for r := 0; r < m.Rows; r++ {
+				lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+				if lo == hi {
+					continue
 				}
-			}
-			var sum float64
-			for p := lo; p < hi; p++ {
-				ev := math.Exp(float64(m.Val[p]*scale - maxv))
-				out.Val[p] = float32(ev)
-				sum += ev
-			}
-			for p := lo; p < hi; p++ {
-				out.Val[p] /= float32(sum)
+				maxv := m.Val[lo] * scale
+				for p := lo + 1; p < hi; p++ {
+					if v := m.Val[p] * scale; v > maxv {
+						maxv = v
+					}
+				}
+				var sum float64
+				for p := lo; p < hi; p++ {
+					ev := math.Exp(float64(m.Val[p]*scale - maxv))
+					out.Val[p] = float32(ev)
+					sum += ev
+				}
+				for p := lo; p < hi; p++ {
+					out.Val[p] /= float32(sum)
+				}
 			}
 		}
 		return nil
 	})
-	return out
+	return outs
 }
 
 // ClassifyAccuracy assigns each node the majority community among its

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/sparse"
 	"github.com/neurosym/nsbench/internal/trace"
 )
 
@@ -50,7 +51,7 @@ func TestEdgeSoftmaxRowsSumToOne(t *testing.T) {
 	q := w.wq[0].Forward(e, w.feats)
 	k := w.wk[0].Forward(e, w.feats)
 	logits := w.adj.SDDMM(q, k)
-	att := w.edgeSoftmax(e, logits, 0.25)
+	att := w.edgeSoftmax(e, []*sparse.CSR{logits}, 0.25)[0]
 	for r := 0; r < att.Rows; r++ {
 		lo, hi := att.RowPtr[r], att.RowPtr[r+1]
 		if lo == hi {

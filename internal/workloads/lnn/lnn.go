@@ -72,6 +72,9 @@ type LNN struct {
 	n     int
 	index map[string]int // constant → domain index
 	preds map[string]*predicate
+	// predOrder keeps predicate keys in first-seen order so grounding emits
+	// events deterministically (map iteration order is randomized).
+	predOrder []string
 }
 
 // New constructs the workload: it generates the knowledge base and
@@ -155,6 +158,7 @@ func (w *LNN) Infer(e *ops.Engine) (map[string]bool, error) {
 	// ---- Symbolic: grounding construction --------------------------------
 	e.SetPhase(trace.Symbolic)
 	w.preds = make(map[string]*predicate)
+	w.predOrder = w.predOrder[:0]
 	e.InStage("grounding", func() {
 		w.ground(e)
 	})
@@ -234,6 +238,7 @@ func (w *LNN) ground(e *ops.Engine) {
 			size = w.n * w.n
 		}
 		w.preds[key] = &predicate{name: name, arity: arity, l: tensor.New(size), u: tensor.Ones(size)}
+		w.predOrder = append(w.predOrder, key)
 	}
 	for _, r := range w.rules {
 		for _, a := range r.body {
@@ -245,8 +250,8 @@ func (w *LNN) ground(e *ops.Engine) {
 	// timed as symbolic grounding work (hash lookups over the fact store
 	// are exactly the sparse, irregular accesses the paper attributes to
 	// LNN's symbolic component).
-	for _, p := range w.preds {
-		p := p
+	for _, key := range w.predOrder {
+		p := w.preds[key]
 		e.Logic("GroundPredicate:"+p.name, int64(p.l.Size()), int64(p.l.Size())*8, nil, func() []*tensor.Tensor {
 			for i := 0; i < w.n; i++ {
 				if p.arity == 1 {

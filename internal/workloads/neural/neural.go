@@ -83,31 +83,52 @@ func (w *Baseline) Register(e *ops.Engine) {
 }
 
 // Run solves one generated task (all-neural; no symbolic phase).
-func (w *Baseline) Run(e *ops.Engine) error {
+func (w *Baseline) Run(e *ops.Engine) error { return w.RunBatch(e, 1) }
+
+// RunBatch solves one generated task for n batch replicas in a single
+// engine pass: the CNN embeds all n×panels images as one batch, and the
+// scorer ranks all n candidate rows at once.
+func (w *Baseline) RunBatch(e *ops.Engine, n int) error {
 	task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-	_, err := w.Solve(e, task)
+	_, err := w.SolveBatch(e, task, n)
 	return err
 }
 
 // Solve embeds the panels and scores every candidate, returning the argmax.
 func (w *Baseline) Solve(e *ops.Engine, task raven.Task) (int, error) {
+	return w.SolveBatch(e, task, 1)
+}
+
+// SolveBatch solves the task with a leading batch dimension of n replicas
+// threaded through every tensor: panel embeddings are (n·panels, Embed),
+// context aggregation and candidate scoring are (n, ...) shaped, and the
+// answer is read from item 0. Every event records exactly n× the solo
+// cost, which is what lets CharacterizeBatch split the trace per item.
+func (w *Baseline) SolveBatch(e *ops.Engine, task raven.Task, n int) (int, error) {
 	w.Register(e)
 	e.SetPhase(trace.Neural)
 	panels := append(append([]raven.Panel{}, task.Context...), task.Choices...)
-	imgs := make([]*tensor.Tensor, len(panels))
+	rendered := make([]*tensor.Tensor, len(panels))
 	for i, p := range panels {
-		imgs[i] = p.Render(w.cfg.ImgSize).Reshape(1, w.cfg.ImgSize, w.cfg.ImgSize)
+		rendered[i] = p.Render(w.cfg.ImgSize).Reshape(1, w.cfg.ImgSize, w.cfg.ImgSize)
+	}
+	imgs := make([]*tensor.Tensor, 0, n*len(panels))
+	for i := 0; i < n; i++ {
+		imgs = append(imgs, rendered...)
 	}
 	batch := e.HostToDevice(e.Stack(imgs...))
-	emb := w.cnn.Forward(e, batch)
+	emb := w.cnn.ForwardBatch(e, batch, n) // (n·panels, Embed)
+	// The reshape's fixed cost does not scale with tensor size, so it is
+	// recorded once per item to keep the trace uniformly n×.
+	emb3 := e.ReshapeBatch(emb, n, n, len(panels), w.cfg.Embed)
 
 	ctx := len(task.Context)
-	ctxEmb := e.MeanAxis(e.Slice(emb, 0, ctx), 0) // Embed
+	ctxEmb := e.MeanAxis(e.SliceAxis(emb3, 1, 0, ctx), 1) // (n, Embed)
 	scores := tensor.New(len(task.Choices))
 	for ci := range task.Choices {
-		cand := e.Slice(emb, ctx+ci, ctx+ci+1).Reshape(w.cfg.Embed)
-		in := e.Concat(0, ctxEmb, cand).Reshape(1, 2*w.cfg.Embed)
-		s := w.scorer.Forward(e, in)
+		cand := e.SliceAxis(emb3, 1, ctx+ci, ctx+ci+1).Reshape(n, w.cfg.Embed)
+		in := e.Concat(1, ctxEmb, cand) // (n, 2·Embed)
+		s := w.scorer.ForwardBatch(e, in, n)
 		scores.Data()[ci] = s.At(0, 0)
 	}
 	return tensor.ArgMax(scores), nil

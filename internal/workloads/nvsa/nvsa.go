@@ -130,41 +130,68 @@ func (w *NVSA) Register(e *ops.Engine) {
 }
 
 // Run generates one RPM task and solves it end-to-end.
-func (w *NVSA) Run(e *ops.Engine) error {
+func (w *NVSA) Run(e *ops.Engine) error { return w.RunBatch(e, 1) }
+
+// RunBatch generates one RPM task and solves it for n batch replicas in a
+// single engine pass.
+func (w *NVSA) RunBatch(e *ops.Engine, n int) error {
 	task := raven.Generate(raven.Config{M: w.cfg.M}, w.g)
-	_, err := w.Solve(e, task)
+	_, err := w.SolveBatch(e, task, n)
 	return err
 }
 
 // Solve runs the full pipeline on a task and returns the chosen candidate
 // index.
 func (w *NVSA) Solve(e *ops.Engine, task raven.Task) (int, error) {
+	return w.SolveBatch(e, task, 1)
+}
+
+// SolveBatch solves the task for n batch replicas in one pass. The neural
+// frontend is materialized: the CNN and codebook projection run over all
+// n×panels images as one batch, so their events record n× the solo cost
+// by size. The symbolic backend operates on solo-shaped per-panel PMFs
+// and hypervectors, so it runs once under replica amplification — the
+// actual saving batching buys, since the paper's symbolic kernels are the
+// ones too small to fill the hardware — with every recorded event scaled
+// to n× for exact per-item trace splitting.
+func (w *NVSA) SolveBatch(e *ops.Engine, task raven.Task, n int) (int, error) {
 	w.Register(e)
 	panels := append(append([]raven.Panel{}, task.Context...), task.Choices...)
 
 	// ---- Neural frontend -------------------------------------------------
 	e.SetPhase(trace.Neural)
-	imgs := make([]*tensor.Tensor, len(panels))
+	rendered := make([]*tensor.Tensor, len(panels))
 	for i, p := range panels {
-		imgs[i] = p.Render(w.cfg.ImgSize).Reshape(1, w.cfg.ImgSize, w.cfg.ImgSize)
+		rendered[i] = p.Render(w.cfg.ImgSize).Reshape(1, w.cfg.ImgSize, w.cfg.ImgSize)
+	}
+	imgs := make([]*tensor.Tensor, 0, n*len(panels))
+	for i := 0; i < n; i++ {
+		imgs = append(imgs, rendered...)
 	}
 	batch := e.Stack(imgs...)
 	batch = e.HostToDevice(batch)
-	features := w.cnn.Forward(e, batch)
+	features := w.cnn.ForwardBatch(e, batch, n) // (n·panels, Dim)
 	// Transduce features into the vector-symbolic space by projecting onto
-	// the concatenated codebooks (quasi-orthogonal readout).
+	// the concatenated codebooks (quasi-orthogonal readout). The codebook
+	// transpose is shared across batch items (its size does not scale with
+	// n), so it is amplified explicitly to keep the trace uniformly n×.
 	allCodes := w.codebooks[raven.Number].Vectors
 	for _, a := range w.attrs[1:] {
 		allCodes = tensor.Concat(0, allCodes, w.codebooks[a].Vectors)
 	}
-	queries := e.MatMul(features, e.Transpose(allCodes))
+	var codesT *tensor.Tensor
+	e.InReplicas(n, func() { codesT = e.Transpose(allCodes) })
+	queries := e.MatMulBatch(features, codesT, n)
 	_ = e.Softmax(queries)
 
 	// PMFs move to the symbolic engine (device→host on the measured system).
 	hostQ := e.DeviceToHost(queries)
 
 	// ---- Symbolic backend -------------------------------------------------
+	// One solo-shaped pass stands for all n identical items.
 	e.SetPhase(trace.Symbolic)
+	e.SetReplicas(n)
+	defer e.SetReplicas(1)
 	// Perception readout: PMFs over attribute levels per panel, produced
 	// from the neural output (see DESIGN.md — perception accuracy is
 	// emulated; the compute above is real). Recording the readout as an
