@@ -7,6 +7,7 @@
 //	nsbench -experiment all
 //	nsbench -experiment fig2a|fig2b|fig2c|fig3a|fig3b|fig3c|fig4|fig5|tab1|tab4|sweep
 //	nsbench -batch 8    # continuous-batching comparison: 1 batched pass of 8 vs 8 solo runs
+//	nsbench -kernel-bench BENCH_kernels.json   # naive-vs-tiled kernel rooflines
 package main
 
 import (
@@ -30,13 +31,21 @@ func main() {
 	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
 	chromeTrace := flag.String("chrome-trace", "", "write the suite's merged operator timeline (Chrome trace-event JSON, loadable in Perfetto) to this file; needs a suite experiment (fig2a/fig3*/fig4/all)")
 	batch := flag.Int("batch", 0, "run the continuous-batching comparison instead of -experiment: one batched pass of N items vs N sequential solo runs, per workload (N >= 2)")
+	kernelName := flag.String("kernel", "auto", "GEMM/conv kernel implementation: auto (measured dispatch table), naive, or tiled")
+	kernelBench := flag.String("kernel-bench", "", "benchmark naive vs tiled kernels over the workload operator shapes and write the roofline table (BENCH_kernels.json format) to this file instead of running -experiment")
 	flag.Parse()
 
+	if *kernelBench != "" {
+		if err := runKernelBench(*kernelBench); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	dev, err := hwsim.DeviceByName(*device)
 	if err != nil {
 		fatal(err)
 	}
-	eng := ops.Config{Backend: *backendName, Workers: *workers}
+	eng := ops.Config{Backend: *backendName, Workers: *workers, Kernel: *kernelName}
 	if err := eng.Validate(); err != nil {
 		fatal(err)
 	}

@@ -31,6 +31,7 @@ func main() {
 	chromeOut := flag.String("chrome-trace", "", "write a chrome://tracing / Perfetto timeline to this file")
 	backendName := flag.String("backend", ops.BackendSerial, "execution backend: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+	kernelName := flag.String("kernel", "auto", "GEMM/conv kernel implementation: auto (measured dispatch table), naive, or tiled")
 	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng := ops.Config{Backend: *backendName, Workers: *workers}
+	eng := ops.Config{Backend: *backendName, Workers: *workers, Kernel: *kernelName}
 	if err := eng.Validate(); err != nil {
 		fatal(err)
 	}

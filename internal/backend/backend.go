@@ -37,6 +37,12 @@ type Backend interface {
 	Scratch(n int) []float64
 	// Release returns a Scratch buffer to the pool for reuse.
 	Release(buf []float64)
+	// Scratch32 returns a float32 buffer with at least n usable elements
+	// (packed GEMM/conv panels at operand precision), drawn from a pool
+	// when possible. Safe to call from concurrent For chunks.
+	Scratch32(n int) []float32
+	// Release32 returns a Scratch32 buffer to the pool for reuse.
+	Release32(buf []float32)
 	// Close releases backend resources (worker goroutines). The backend
 	// must not be used after Close. Close on Serial is a no-op.
 	Close()

@@ -179,7 +179,7 @@ func TestParallelCloseStopsWorkers(t *testing.T) {
 }
 
 func TestScratchPoolRoundTrip(t *testing.T) {
-	var pool scratchPool
+	var pool scratchPool[float64]
 	b := pool.get(100)
 	if len(b) != 100 {
 		t.Fatalf("got len %d, want 100", len(b))
@@ -188,6 +188,16 @@ func TestScratchPoolRoundTrip(t *testing.T) {
 	b2 := pool.get(128) // same size class (2^7)
 	if len(b2) != 128 {
 		t.Fatalf("got len %d, want 128", len(b2))
+	}
+	var pool32 scratchPool[float32]
+	f := pool32.get(100)
+	if len(f) != 100 {
+		t.Fatalf("got float32 len %d, want 100", len(f))
+	}
+	pool32.put(f)
+	f2 := pool32.get(128)
+	if len(f2) != 128 {
+		t.Fatalf("got float32 len %d, want 128", len(f2))
 	}
 }
 

@@ -17,8 +17,9 @@ import (
 // bit-identical to the Serial backend and event traces recorded above it
 // are reproducible run to run.
 type Parallel struct {
-	workers int
-	scratch scratchPool
+	workers   int
+	scratch   scratchPool[float64]
+	scratch32 scratchPool[float32]
 
 	// Dispatch statistics (see PoolStats). Updated with one atomic add
 	// per For call plus one busy inc/dec per worker-executed chunk, so
@@ -167,6 +168,12 @@ func (p *Parallel) Scratch(n int) []float64 { return p.scratch.get(n) }
 
 // Release returns a Scratch buffer to the pool.
 func (p *Parallel) Release(buf []float64) { p.scratch.put(buf) }
+
+// Scratch32 returns a pooled float32 buffer with at least n elements.
+func (p *Parallel) Scratch32(n int) []float32 { return p.scratch32.get(n) }
+
+// Release32 returns a Scratch32 buffer to the pool.
+func (p *Parallel) Release32(buf []float32) { p.scratch32.put(buf) }
 
 // Close shuts down the worker pool and waits for the workers to exit;
 // it is idempotent and safe to call concurrently with For. Dispatches

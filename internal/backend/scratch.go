@@ -5,9 +5,13 @@ import (
 	"sync"
 )
 
-// scratchPool pools float64 scratch buffers in power-of-two size classes so
-// kernels with different working-set sizes do not thrash a single pool slot.
-type scratchPool struct {
+// scratchPool pools scratch buffers in power-of-two size classes so
+// kernels with different working-set sizes do not thrash a single pool
+// slot. Two instantiations exist per backend: float64 for reduction
+// scratch (FFT twiddles, softmax sums) and float32 for packed GEMM/conv
+// panels, which must match operand precision to be copied with the memmove
+// fast path.
+type scratchPool[T float32 | float64] struct {
 	classes [maxSizeClass]sync.Pool
 }
 
@@ -25,20 +29,20 @@ func sizeClass(n int) int {
 }
 
 // get returns a buffer with at least n elements, pooled when possible.
-func (p *scratchPool) get(n int) []float64 {
+func (p *scratchPool[T]) get(n int) []T {
 	c := sizeClass(n)
 	if c >= maxSizeClass {
-		return make([]float64, n)
+		return make([]T, n)
 	}
 	if v := p.classes[c].Get(); v != nil {
-		return v.(*scratchBuf).b[:n]
+		return v.(*scratchBuf[T]).b[:n]
 	}
-	return make([]float64, 1<<c)[:n]
+	return make([]T, 1<<c)[:n]
 }
 
 // put returns a buffer to its size class. Buffers whose capacity is not an
 // exact size class (direct allocations) are dropped.
-func (p *scratchPool) put(buf []float64) {
+func (p *scratchPool[T]) put(buf []T) {
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
 		return
@@ -47,8 +51,8 @@ func (p *scratchPool) put(buf []float64) {
 	if class >= maxSizeClass {
 		return
 	}
-	p.classes[class].Put(&scratchBuf{b: buf[:c]})
+	p.classes[class].Put(&scratchBuf[T]{b: buf[:c]})
 }
 
 // scratchBuf boxes a slice so sync.Pool stores a pointer-shaped value.
-type scratchBuf struct{ b []float64 }
+type scratchBuf[T float32 | float64] struct{ b []T }

@@ -5,9 +5,12 @@ package backend
 // default: a Serial value carries no state beyond the shared scratch pool.
 type Serial struct{}
 
-// serialScratch is shared by all Serial values; Serial{} is a value type
-// so the pool must live at package scope.
-var serialScratch scratchPool
+// serialScratch and serialScratch32 are shared by all Serial values;
+// Serial{} is a value type so the pools must live at package scope.
+var (
+	serialScratch   scratchPool[float64]
+	serialScratch32 scratchPool[float32]
+)
 
 // Name identifies the backend.
 func (Serial) Name() string { return "serial" }
@@ -37,6 +40,12 @@ func (Serial) Scratch(n int) []float64 { return serialScratch.get(n) }
 
 // Release returns a Scratch buffer to the pool.
 func (Serial) Release(buf []float64) { serialScratch.put(buf) }
+
+// Scratch32 returns a pooled float32 buffer with at least n elements.
+func (Serial) Scratch32(n int) []float32 { return serialScratch32.get(n) }
+
+// Release32 returns a Scratch32 buffer to the pool.
+func (Serial) Release32(buf []float32) { serialScratch32.put(buf) }
 
 // Close is a no-op: Serial holds no resources.
 func (Serial) Close() {}

@@ -13,7 +13,11 @@
 // which is what Figs. 2b/3c and Table IV require.
 package hwsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/neurosym/nsbench/internal/roofline"
+)
 
 // Device is an analytical platform model.
 type Device struct {
@@ -79,6 +83,13 @@ var (
 		EffGEMM: 0.75, EffEltwise: 0.95, EffGather: 0.60, EffOther: 0.50,
 	}
 )
+
+// Roofline returns the device's single-ceiling roofline model (peak FP32
+// compute, peak DRAM bandwidth) — the Fig. 3c axes the measured kernel
+// benchmarks are placed against.
+func (d Device) Roofline() roofline.Model {
+	return roofline.Model{Name: d.Name, PeakGFLOPs: d.PeakFP32GFLOPs, MemBWGBs: d.MemBWGBs}
+}
 
 // EdgeDevices lists the embedded platforms of Fig. 2b.
 func EdgeDevices() []Device { return []Device{JetsonTX2, XavierNX, RTX2080Ti} }

@@ -204,3 +204,45 @@ func TestEventTimeIncludesLaunch(t *testing.T) {
 		t.Fatalf("tiny kernel must pay launch overhead, got %v", got)
 	}
 }
+
+func TestKernelStatsMeasuredFields(t *testing.T) {
+	// One GEMM event with a recorded wall-clock duration: 2e9 FLOPs in
+	// 500ms = 4 achieved GFLOP/s. AI = 2e9/8e6 = 250 flops/byte, far past
+	// every device's ridge, so the ceiling is the compute peak.
+	tr := trace.New()
+	tr.Append(trace.Event{Kernel: "sgemm_nn", FLOPs: 2e9, Bytes: 8e6, Dur: 500 * time.Millisecond})
+	ks := XeonSilver4114.KernelStats("sgemm_nn", tr.Events)
+	if ks.MeasuredTime != 500*time.Millisecond {
+		t.Fatalf("MeasuredTime = %v", ks.MeasuredTime)
+	}
+	if ks.AchievedGFLOPs < 3.99 || ks.AchievedGFLOPs > 4.01 {
+		t.Fatalf("AchievedGFLOPs = %v, want 4", ks.AchievedGFLOPs)
+	}
+	want := 100 * 4.0 / XeonSilver4114.PeakFP32GFLOPs
+	if diff := ks.RooflinePct - want; diff < -0.01 || diff > 0.01 {
+		t.Fatalf("RooflinePct = %v, want %v", ks.RooflinePct, want)
+	}
+
+	// No durations: measured fields stay zero (projected traces).
+	tr2 := trace.New()
+	tr2.Append(trace.Event{Kernel: "sgemm_nn", FLOPs: 2e9, Bytes: 8e6})
+	ks2 := XeonSilver4114.KernelStats("sgemm_nn", tr2.Events)
+	if ks2.MeasuredTime != 0 || ks2.AchievedGFLOPs != 0 || ks2.RooflinePct != 0 {
+		t.Fatalf("projected trace measured fields = %v %v %v", ks2.MeasuredTime, ks2.AchievedGFLOPs, ks2.RooflinePct)
+	}
+}
+
+func TestDeviceRoofline(t *testing.T) {
+	m := RTX2080Ti.Roofline()
+	if m.PeakGFLOPs != RTX2080Ti.PeakFP32GFLOPs || m.MemBWGBs != RTX2080Ti.MemBWGBs {
+		t.Fatalf("roofline model %+v does not match device", m)
+	}
+	// A memory-bound point: AI below the ridge, ceiling is AI·BW.
+	p := m.PlaceMeasured("eltwise", 1e9, 1e9, time.Second)
+	if p.Bound != 0 { // roofline.MemoryBound
+		t.Fatalf("AI=1 on 2080Ti should be memory-bound, got %v", p.Bound)
+	}
+	if p.PerfGFLOPs != 1 {
+		t.Fatalf("PerfGFLOPs = %v, want 1", p.PerfGFLOPs)
+	}
+}

@@ -25,6 +25,18 @@ type KernelStats struct {
 
 	FLOPs, AlgBytes, DRAMBytes int64
 	Events                     int
+
+	// Measured-execution counters, from the events' recorded wall-clock
+	// durations rather than the analytic device model. MeasuredTime is the
+	// summed kernel time on the machine that ran the trace;
+	// AchievedGFLOPs = FLOPs/MeasuredTime is the kernel class's achieved
+	// throughput; RooflinePct places that throughput against this device
+	// model's roofline ceiling at the class's algorithmic intensity
+	// (achieved/attainable, capped at 100). Zero when the trace carries no
+	// durations (projected traces).
+	MeasuredTime   time.Duration
+	AchievedGFLOPs float64
+	RooflinePct    float64
 }
 
 // simBudget caps cache-simulation stream lengths; hit rates converge well
@@ -46,11 +58,20 @@ func (d Device) KernelStats(kernel string, events []trace.Event) KernelStats {
 		return ks
 	}
 	var flops, bytes int64
+	var measured time.Duration
 	for i := range events {
 		flops += events[i].FLOPs
 		bytes += events[i].Bytes
+		measured += events[i].Dur
 	}
 	ks.FLOPs, ks.AlgBytes = flops, bytes
+	ks.MeasuredTime = measured
+	if measured > 0 {
+		ks.AchievedGFLOPs = float64(flops) / measured.Seconds() / 1e9
+		if att := d.Roofline().Attainable(intensity(flops, bytes)); att > 0 {
+			ks.RooflinePct = clampPct(100 * ks.AchievedGFLOPs / att)
+		}
+	}
 
 	// Simulate the cache behaviour of a representative stream.
 	h := cachesim.NewHierarchy(
@@ -164,4 +185,12 @@ func maxI64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// intensity is arithmetic intensity in FLOPs/byte (0 when traffic is 0).
+func intensity(flops, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(flops) / float64(bytes)
 }

@@ -27,6 +27,11 @@ type Engine struct {
 	phase trace.Phase
 	stage string
 
+	// kernel selects the tensor kernel variant (auto, naive, tiled) the
+	// engine's GEMM and convolution ops dispatch to. The zero value is
+	// tensor.KernelAuto: the measured per-shape dispatch table decides.
+	kernel tensor.Kernel
+
 	// worker is the engine's timeline lane: 0 for the root engine, the
 	// 1-based fork index for children. Every event the engine records
 	// carries it, which is how forked shards land on their own tracks.
@@ -77,6 +82,9 @@ func (e *Engine) Trace() *trace.Trace { return e.tr }
 // Backend returns the execution backend the engine dispatches kernels on.
 func (e *Engine) Backend() backend.Backend { return e.be }
 
+// Kernel returns the engine's kernel-variant selection.
+func (e *Engine) Kernel() tensor.Kernel { return e.kernel }
+
 // Close releases the engine's backend resources (worker goroutines). Only
 // call it when the engine owns its backend; engines built from a shared
 // Config.Factory backend must leave Close to the owner.
@@ -101,6 +109,7 @@ func (e *Engine) Fork(n int) []*Engine {
 			be:              e.be,
 			phase:           e.phase,
 			stage:           e.stage,
+			kernel:          e.kernel,
 			worker:          i + 1,
 			measureSparsity: e.measureSparsity,
 			sparsityEps:     e.sparsityEps,

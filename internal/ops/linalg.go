@@ -15,7 +15,7 @@ func (e *Engine) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    tensor.FlopsMatMul(m, k, n),
 		bytes:    tensor.BytesMatMul(m, k, n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulOn(e.be, a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulKernelOn(e.be, e.kernel, a, b)} }))
 }
 
 // MatMulBatch records a GEMM whose left operand stacks `batch` row blocks
@@ -34,7 +34,7 @@ func (e *Engine) MatMulBatch(a, b *tensor.Tensor, batch int) *tensor.Tensor {
 		flops:    int64(batch) * tensor.FlopsMatMul(m, k, n),
 		bytes:    int64(batch) * tensor.BytesMatMul(m, k, n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulOn(e.be, a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.MatMulKernelOn(e.be, e.kernel, a, b)} }))
 }
 
 // MatVec records an instrumented GEMV.
@@ -60,7 +60,7 @@ func (e *Engine) BatchMatMul(a, b *tensor.Tensor) *tensor.Tensor {
 		flops:    int64(bsz) * tensor.FlopsMatMul(m, k, n),
 		bytes:    int64(bsz) * tensor.BytesMatMul(m, k, n),
 		inputs:   []*tensor.Tensor{a, b},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.BatchMatMulOn(e.be, a, b)} }))
+	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.BatchMatMulKernelOn(e.be, e.kernel, a, b)} }))
 }
 
 // Outer records an instrumented outer product.
@@ -89,7 +89,9 @@ func (e *Engine) Conv2D(in, w, bias *tensor.Tensor, stride, pad int) *tensor.Ten
 		flops:    tensor.FlopsConv2D(n, cin, cout, hout, wout, kh, kw),
 		bytes:    tensor.BytesConv2D(n, cin, h, wd, cout, hout, wout, kh, kw),
 		inputs:   []*tensor.Tensor{in, w, bias},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2DOn(e.be, in, w, bias, stride, pad)} }))
+	}, func() []*tensor.Tensor {
+		return []*tensor.Tensor{tensor.Conv2DKernelOn(e.be, e.kernel, in, w, bias, stride, pad)}
+	}))
 }
 
 // Conv2DBatch records a convolution over `batch` stacked item blocks
@@ -109,7 +111,9 @@ func (e *Engine) Conv2DBatch(in, w, bias *tensor.Tensor, stride, pad, batch int)
 		flops:    int64(batch) * tensor.FlopsConv2D(n, cin, cout, hout, wout, kh, kw),
 		bytes:    int64(batch) * tensor.BytesConv2D(n, cin, h, wd, cout, hout, wout, kh, kw),
 		inputs:   []*tensor.Tensor{in, w, bias},
-	}, func() []*tensor.Tensor { return []*tensor.Tensor{tensor.Conv2DOn(e.be, in, w, bias, stride, pad)} }))
+	}, func() []*tensor.Tensor {
+		return []*tensor.Tensor{tensor.Conv2DKernelOn(e.be, e.kernel, in, w, bias, stride, pad)}
+	}))
 }
 
 // MaxPool2D records an instrumented max pooling.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/neurosym/nsbench/internal/backend"
+	"github.com/neurosym/nsbench/internal/tensor"
 	"github.com/neurosym/nsbench/internal/trace"
 )
 
@@ -47,26 +48,39 @@ func WithObserver(fn trace.Observer) Option {
 	return func(e *Engine) { e.observer = fn }
 }
 
+// WithKernel pins the tensor kernel variant the engine's GEMM and
+// convolution ops dispatch to. The default, tensor.KernelAuto, lets the
+// measured per-shape dispatch table choose; KernelNaive and KernelTiled
+// force one implementation (outputs are bit-identical either way).
+func WithKernel(k tensor.Kernel) Option {
+	return func(e *Engine) { e.kernel = k }
+}
+
 // Config names an execution backend in the plain-data form carried by
 // workload configs and CLI flags. The zero value selects the serial
 // backend.
 type Config struct {
 	Backend string // "serial" (default) or "parallel"
 	Workers int    // parallel worker count; <1 selects GOMAXPROCS
+	Kernel  string // "auto" (default), "naive", or "tiled" kernel variant
 }
 
-// Validate reports whether the backend name is known.
+// Validate reports whether the backend and kernel names are known.
 func (c Config) Validate() error {
 	switch c.Backend {
 	case "", BackendSerial, BackendParallel:
-		return nil
+	default:
+		return fmt.Errorf("ops: unknown backend %q (want %q or %q)", c.Backend, BackendSerial, BackendParallel)
 	}
-	return fmt.Errorf("ops: unknown backend %q (want %q or %q)", c.Backend, BackendSerial, BackendParallel)
+	if _, err := tensor.ParseKernel(c.Kernel); err != nil {
+		return fmt.Errorf("ops: %v", err)
+	}
+	return nil
 }
 
 // New builds an engine on a backend of its own. The caller owns the
 // engine's backend and must Close the engine when done.
-func (c Config) New() *Engine { return New(WithBackend(c.build())) }
+func (c Config) New() *Engine { return New(WithBackend(c.build()), WithKernel(c.kernel())) }
 
 // NewPool builds the shared-backend pool for c. Every engine the pool
 // hands out runs on one backend — and so one worker pool and one scratch
@@ -74,7 +88,7 @@ func (c Config) New() *Engine { return New(WithBackend(c.build())) }
 // them. Workloads and services that build a fresh engine per run
 // (accuracy loops, sweeps, servers) use this to avoid spawning a worker
 // pool per iteration and to avoid leaking the one they share.
-func (c Config) NewPool() *Pool { return &Pool{be: c.build()} }
+func (c Config) NewPool() *Pool { return &Pool{be: c.build(), kern: c.kernel()} }
 
 // Factory returns an engine constructor that shares one backend across
 // every engine it creates, plus the release function that tears that
@@ -92,6 +106,7 @@ func (c Config) Factory() (newEngine func() *Engine, release func()) {
 // (each engine itself stays single-goroutine).
 type Pool struct {
 	be   backend.Backend
+	kern tensor.Kernel
 	once sync.Once
 	// observer, when set, is installed on every engine the pool hands
 	// out, so every run through a shared pool feeds the same live
@@ -115,7 +130,7 @@ func (p *Pool) SetObserver(fn trace.Observer) {
 // shared backend. Do not Close the returned engine — the backend belongs
 // to the pool; dropping the engine is enough.
 func (p *Pool) Engine() *Engine {
-	e := New(WithBackend(p.be))
+	e := New(WithBackend(p.be), WithKernel(p.kern))
 	if fn := p.observer.Load(); fn != nil {
 		e.observer = *fn
 	}
@@ -137,4 +152,14 @@ func (c Config) build() backend.Backend {
 		return backend.NewParallel(c.Workers)
 	}
 	return backend.Serial{}
+}
+
+// kernel resolves the config's kernel name; Validate has already vetted it
+// wherever build ran, so a parse failure here is a programmer error.
+func (c Config) kernel() tensor.Kernel {
+	k, err := tensor.ParseKernel(c.Kernel)
+	if err != nil {
+		panic(err)
+	}
+	return k
 }

@@ -93,8 +93,10 @@ func (k *kernelTracer) drain(tr *trace.Trace) {
 
 // The remaining Backend methods delegate untouched.
 
-func (k *kernelTracer) Name() string            { return k.be.Name() }
-func (k *kernelTracer) Workers() int            { return k.be.Workers() }
-func (k *kernelTracer) Scratch(n int) []float64 { return k.be.Scratch(n) }
-func (k *kernelTracer) Release(buf []float64)   { k.be.Release(buf) }
-func (k *kernelTracer) Close()                  { k.be.Close() }
+func (k *kernelTracer) Name() string              { return k.be.Name() }
+func (k *kernelTracer) Workers() int              { return k.be.Workers() }
+func (k *kernelTracer) Scratch(n int) []float64   { return k.be.Scratch(n) }
+func (k *kernelTracer) Release(buf []float64)     { k.be.Release(buf) }
+func (k *kernelTracer) Scratch32(n int) []float32 { return k.be.Scratch32(n) }
+func (k *kernelTracer) Release32(buf []float32)   { k.be.Release32(buf) }
+func (k *kernelTracer) Close()                    { k.be.Close() }

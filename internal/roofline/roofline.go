@@ -3,7 +3,10 @@
 // arithmetic intensity under peak-compute and peak-bandwidth ceilings.
 package roofline
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Model is a single-device roofline: a flat compute ceiling and a bandwidth
 // slope meeting at the ridge point.
@@ -80,6 +83,13 @@ func (m Model) Place(name string, flops, bytes int64, seconds float64) Point {
 		p.CeilingPct = 100 * p.PerfGFLOPs / att
 	}
 	return p
+}
+
+// PlaceMeasured is Place with a measured wall-clock duration instead of
+// raw seconds — the form the kernel benchmarks use to put achieved
+// FLOP/s per operator against a device ceiling.
+func (m Model) PlaceMeasured(name string, flops, bytes int64, d time.Duration) Point {
+	return m.Place(name, flops, bytes, d.Seconds())
 }
 
 // String renders the point.

@@ -14,10 +14,18 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	return Conv2DOn(Serial, input, weight, bias, stride, pad)
 }
 
-// Conv2DOn is Conv2D dispatched on r, chunked over (batch, output channel)
-// planes. Each output plane is accumulated exactly as in the serial loop,
-// so results are bit-identical for every runner.
+// Conv2DOn is Conv2D dispatched on r with the auto kernel: the measured
+// dispatch table picks the naive or tiled implementation per shape.
 func Conv2DOn(r Runner, input, weight, bias *Tensor, stride, pad int) *Tensor {
+	return Conv2DKernelOn(r, KernelAuto, input, weight, bias, stride, pad)
+}
+
+// Conv2DKernelOn is Conv2D with an explicit kernel choice. The naive
+// kernel chunks over (batch, output channel) planes; the tiled kernel
+// chunks over output rows with an interior fast path (see conv_tiled.go).
+// Each output element is accumulated in the same tap order either way, so
+// results are bit-identical for every (runner, kernel) combination.
+func Conv2DKernelOn(r Runner, kern Kernel, input, weight, bias *Tensor, stride, pad int) *Tensor {
 	if input.Rank() != 4 || weight.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D needs rank-4 input and weight, got %v, %v", input.shape, weight.shape))
 	}
@@ -41,6 +49,16 @@ func Conv2DOn(r Runner, input, weight, bias *Tensor, stride, pad int) *Tensor {
 	in := input.data
 	wd := weight.data
 	od := out.data
+	var bd []float32
+	if bias != nil {
+		bd = bias.data
+	}
+	if convKernel(kern, wout) == KernelTiled {
+		perRow := 2 * int64(cin) * int64(kh) * int64(kw) * int64(wout)
+		r.For(n*cout*hout, grainFor(perRow),
+			conv2DRowsTiled(in, wd, bd, od, cin, h, w, cout, hout, wout, kh, kw, stride, pad))
+		return out
+	}
 	perPlane := 2 * int64(cin) * int64(kh) * int64(kw) * int64(hout) * int64(wout)
 	r.For(n*cout, grainFor(perPlane), func(lo, hi int) {
 		for bc := lo; bc < hi; bc++ {
@@ -81,6 +99,19 @@ func Conv2DOn(r Runner, input, weight, bias *Tensor, stride, pad int) *Tensor {
 	return out
 }
 
+// checkPool2D validates pooling window and stride the same way Conv2DOn
+// validates stride: a diagnostic panic instead of the raw integer
+// divide-by-zero (s=0) or silent nonsense output (k<1, s<0) the
+// unvalidated loops would produce.
+func checkPool2D(name string, k, s int) {
+	if k < 1 {
+		panic(fmt.Sprintf("tensor: %s window must be >= 1, got k=%d", name, k))
+	}
+	if s < 1 {
+		panic(fmt.Sprintf("tensor: %s stride must be >= 1, got s=%d", name, s))
+	}
+}
+
 // MaxPool2D applies 2-D max pooling with a k×k window and stride s to an
 // N×C×H×W tensor.
 func MaxPool2D(input *Tensor, k, s int) *Tensor { return MaxPool2DOn(Serial, input, k, s) }
@@ -90,6 +121,7 @@ func MaxPool2DOn(r Runner, input *Tensor, k, s int) *Tensor {
 	if input.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: MaxPool2D needs rank-4 input, got %v", input.shape))
 	}
+	checkPool2D("MaxPool2D", k, s)
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	hout := (h-k)/s + 1
 	wout := (w-k)/s + 1
@@ -129,6 +161,7 @@ func AvgPool2DOn(r Runner, input *Tensor, k, s int) *Tensor {
 	if input.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: AvgPool2D needs rank-4 input, got %v", input.shape))
 	}
+	checkPool2D("AvgPool2D", k, s)
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	hout := (h-k)/s + 1
 	wout := (w-k)/s + 1

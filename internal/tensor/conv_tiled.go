@@ -1,0 +1,141 @@
+package tensor
+
+// Tiled direct convolution.
+//
+// The tiled variant keeps the naive kernel's per-pixel accumulation order
+// (ic, ky, kx ascending, invalid taps skipped) but restructures the work
+// per output row:
+//
+//   - the iteration space is tiled over output rows — one (batch, channel,
+//     oy) row per unit — so parallel chunking is fine-grained and each
+//     row's input slab is touched by exactly one chunk;
+//   - the valid ky band for the row is computed once (per-row clip)
+//     instead of testing iy per tap;
+//   - the row's interior — the ox span whose receptive field lies fully
+//     inside the input — is computed once, and runs a fast path with no
+//     per-pixel padding bound checks at all: a four-wide register block
+//     accumulates four output pixels per weight load, and a one-wide
+//     check-free kernel finishes the span;
+//   - only the (at most pad/stride-sized) row edges run the naive checked
+//     per-pixel loop.
+//
+// Every output element still receives its taps in the naive order with one
+// float32 rounding per multiply-add, so results are bit-identical.
+
+// conv2DRowsTiled computes output rows [lo, hi) of the flattened
+// (batch·cout·hout) row space, bit-identical to the naive plane loop.
+func conv2DRowsTiled(in, wd, bias, od []float32, cin, h, w, cout, hout, wout, kh, kw, stride, pad int) func(lo, hi int) {
+	// Interior ox span: every kx tap of every pixel in [oxI0, oxI1) is in
+	// bounds. ox*stride-pad >= 0 and ox*stride-pad+kw <= w.
+	oxI0 := 0
+	if pad > 0 {
+		oxI0 = (pad + stride - 1) / stride
+	}
+	oxI1 := (w - kw + pad) / stride
+	if w-kw+pad < 0 {
+		oxI1 = -1
+	}
+	oxI1++
+	if oxI1 > wout {
+		oxI1 = wout
+	}
+	if oxI0 > oxI1 {
+		oxI0 = oxI1
+	}
+	s2, s3 := 2*stride, 3*stride
+
+	return func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			oy := row % hout
+			bc := row / hout
+			b, oc := bc/cout, bc%cout
+			var bv float32
+			if bias != nil {
+				bv = bias[oc]
+			}
+			iy0 := oy*stride - pad
+			// Valid ky band for this output row: 0 <= iy0+ky < h.
+			kyLo, kyHi := 0, kh
+			if iy0 < 0 {
+				kyLo = -iy0
+			}
+			if iy0+kyHi > h {
+				kyHi = h - iy0
+			}
+			orow := od[(bc*hout+oy)*wout:]
+
+			// Left edge: per-pixel checked loop (naive body).
+			for ox := 0; ox < oxI0; ox++ {
+				orow[ox] = convPixelChecked(in, wd, bv, b, oc, cin, h, w, kh, kw, iy0, ox*stride-pad)
+			}
+			// Interior fast path: four pixels per weight load, then one-wide.
+			ox := oxI0
+			for ; ox+4 <= oxI1; ox += 4 {
+				ix0 := ox*stride - pad
+				acc0, acc1, acc2, acc3 := bv, bv, bv, bv
+				for ic := 0; ic < cin; ic++ {
+					inBase := ((b*cin+ic)*h)*w + ix0
+					wBase := (oc*cin + ic) * kh * kw
+					for ky := kyLo; ky < kyHi; ky++ {
+						rowIn := in[inBase+(iy0+ky)*w:]
+						rowW := wd[wBase+ky*kw : wBase+ky*kw+kw]
+						for kx, wv := range rowW {
+							acc0 += rowIn[kx] * wv
+							acc1 += rowIn[kx+stride] * wv
+							acc2 += rowIn[kx+s2] * wv
+							acc3 += rowIn[kx+s3] * wv
+						}
+					}
+				}
+				orow[ox], orow[ox+1], orow[ox+2], orow[ox+3] = acc0, acc1, acc2, acc3
+			}
+			for ; ox < oxI1; ox++ {
+				ix0 := ox*stride - pad
+				acc := bv
+				for ic := 0; ic < cin; ic++ {
+					inBase := ((b*cin+ic)*h)*w + ix0
+					wBase := (oc*cin + ic) * kh * kw
+					for ky := kyLo; ky < kyHi; ky++ {
+						rowIn := in[inBase+(iy0+ky)*w:]
+						rowW := wd[wBase+ky*kw : wBase+ky*kw+kw]
+						for kx, wv := range rowW {
+							acc += rowIn[kx] * wv
+						}
+					}
+				}
+				orow[ox] = acc
+			}
+			// Right edge: per-pixel checked loop.
+			for ox = oxI1; ox < wout; ox++ {
+				orow[ox] = convPixelChecked(in, wd, bv, b, oc, cin, h, w, kh, kw, iy0, ox*stride-pad)
+			}
+		}
+	}
+}
+
+// convPixelChecked is the naive per-pixel tap loop with full padding bound
+// checks, used for the row edges. It is a transliteration of the Conv2DOn
+// inner body so edge pixels accumulate exactly as the naive kernel does.
+func convPixelChecked(in, wd []float32, bv float32, b, oc, cin, h, w, kh, kw, iy0, ix0 int) float32 {
+	acc := bv
+	for ic := 0; ic < cin; ic++ {
+		inBase := ((b*cin + ic) * h) * w
+		wBase := ((oc*cin + ic) * kh) * kw
+		for ky := 0; ky < kh; ky++ {
+			iy := iy0 + ky
+			if iy < 0 || iy >= h {
+				continue
+			}
+			rowIn := inBase + iy*w
+			rowW := wBase + ky*kw
+			for kx := 0; kx < kw; kx++ {
+				ix := ix0 + kx
+				if ix < 0 || ix >= w {
+					continue
+				}
+				acc += in[rowIn+ix] * wd[rowW+kx]
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,31 @@
+//go:build amd64
+
+package tensor
+
+// amd64 micro-kernels: the 4×4 and 1×4 GEMM register blocks run as SSE
+// assembly (gemm_kern_amd64.s). One XMM register holds four output
+// *columns* of one row, so each vector lane is exactly one output
+// element's accumulator chain: additions happen per lane in ascending-p
+// order with one float32 rounding per multiply-add, precisely the scalar
+// contract. MULPS/ADDPS round each lane like MULSS/ADDSS, and the kernels
+// deliberately avoid FMA — a fused multiply-add rounds once where the
+// scalar kernels round twice, which would break bit-identity with the
+// naive loops (Go does not fuse on amd64).
+//
+// SSE is in the amd64 baseline, so no feature detection is needed.
+
+//go:noescape
+func gemmKern4x4Asm(a0, a1, a2, a3, bp *float32, kc int, o0, o1, o2, o3 *float32, acc bool)
+
+//go:noescape
+func gemmKern1x4Asm(a, bp *float32, kc int, o *float32, acc bool)
+
+func gemmKern4x4(a0, a1, a2, a3, bp []float32, kc int, o0, o1, o2, o3 []float32, acc bool) {
+	_ = bp[kc*gemmNR-1] // the asm streams kc×NR packed elements
+	gemmKern4x4Asm(&a0[0], &a1[0], &a2[0], &a3[0], &bp[0], kc, &o0[0], &o1[0], &o2[0], &o3[0], acc)
+}
+
+func gemmKern1x4(a, bp []float32, kc int, o []float32, acc bool) {
+	_ = bp[kc*gemmNR-1]
+	gemmKern1x4Asm(&a[0], &bp[0], kc, &o[0], acc)
+}

@@ -1,0 +1,173 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SSE GEMM micro-kernels. See gemm_kern_amd64.go for the bit-identity
+// argument; the short version: each XMM lane is one output element's
+// accumulator, MULPS+ADDPS round per lane exactly like the scalar
+// MULSS+ADDSS chain, and no FMA is used.
+
+// func gemmKern4x4Asm(a0, a1, a2, a3, bp *float32, kc int, o0, o1, o2, o3 *float32, acc bool)
+//
+// X0..X3 hold the four output rows (four columns each). The p loop is
+// unrolled by two to amortize pointer bumps; the unroll preserves the
+// per-lane addition order because both steps add into the same register
+// in program order.
+TEXT ·gemmKern4x4Asm(SB), NOSPLIT, $0-81
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ a2+16(FP), R8
+	MOVQ a3+24(FP), R9
+	MOVQ bp+32(FP), BX
+	MOVQ kc+40(FP), CX
+	MOVQ o0+48(FP), R10
+	MOVQ o1+56(FP), R11
+	MOVQ o2+64(FP), R12
+	MOVQ o3+72(FP), R13
+
+	XORPS   X0, X0
+	XORPS   X1, X1
+	XORPS   X2, X2
+	XORPS   X3, X3
+	MOVBLZX acc+80(FP), AX
+	TESTB   AL, AL
+	JZ      unroll
+
+	// k-slab continuation: start from the partial sums already in the
+	// output rows.
+	MOVUPS (R10), X0
+	MOVUPS (R11), X1
+	MOVUPS (R12), X2
+	MOVUPS (R13), X3
+
+unroll:
+	MOVQ CX, DX
+	SHRQ $1, DX
+	JZ   tail
+
+body2:
+	// step p
+	MOVUPS (BX), X4
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVSS  (DI), X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	MOVSS  (R8), X7
+	SHUFPS $0x00, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+	MOVSS  (R9), X8
+	SHUFPS $0x00, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+
+	// step p+1
+	MOVUPS 16(BX), X9
+	MOVSS  4(SI), X10
+	SHUFPS $0x00, X10, X10
+	MULPS  X9, X10
+	ADDPS  X10, X0
+	MOVSS  4(DI), X11
+	SHUFPS $0x00, X11, X11
+	MULPS  X9, X11
+	ADDPS  X11, X1
+	MOVSS  4(R8), X12
+	SHUFPS $0x00, X12, X12
+	MULPS  X9, X12
+	ADDPS  X12, X2
+	MOVSS  4(R9), X13
+	SHUFPS $0x00, X13, X13
+	MULPS  X9, X13
+	ADDPS  X13, X3
+
+	ADDQ $32, BX
+	ADDQ $8, SI
+	ADDQ $8, DI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	DECQ DX
+	JNZ  body2
+
+tail:
+	ANDQ $1, CX
+	JZ   done
+
+	MOVUPS (BX), X4
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVSS  (DI), X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	MOVSS  (R8), X7
+	SHUFPS $0x00, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+	MOVSS  (R9), X8
+	SHUFPS $0x00, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+
+done:
+	MOVUPS X0, (R10)
+	MOVUPS X1, (R11)
+	MOVUPS X2, (R12)
+	MOVUPS X3, (R13)
+	RET
+
+// func gemmKern1x4Asm(a, bp *float32, kc int, o *float32, acc bool)
+//
+// One output row, four columns in X0.
+TEXT ·gemmKern1x4Asm(SB), NOSPLIT, $0-33
+	MOVQ a+0(FP), SI
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ o+24(FP), R10
+
+	XORPS   X0, X0
+	MOVBLZX acc+32(FP), AX
+	TESTB   AL, AL
+	JZ      unroll1
+
+	MOVUPS (R10), X0
+
+unroll1:
+	MOVQ CX, DX
+	SHRQ $1, DX
+	JZ   tail1
+
+body1:
+	MOVUPS (BX), X4
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS 16(BX), X6
+	MOVSS  4(SI), X7
+	SHUFPS $0x00, X7, X7
+	MULPS  X6, X7
+	ADDPS  X7, X0
+	ADDQ   $32, BX
+	ADDQ   $8, SI
+	DECQ   DX
+	JNZ    body1
+
+tail1:
+	ANDQ $1, CX
+	JZ   done1
+
+	MOVUPS (BX), X4
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+
+done1:
+	MOVUPS X0, (R10)
+	RET

@@ -1,0 +1,74 @@
+//go:build !amd64
+
+package tensor
+
+// Portable scalar micro-kernels, used where no assembly implementation
+// exists. Same contract as the SSE versions: each output element
+// accumulates its k contributions in ascending-p order, one float32
+// rounding per multiply-add.
+
+// gemmKern4x4 is the register micro-kernel: it accumulates a 4×4 output
+// block over kc packed steps. With acc it continues the partial sums
+// already stored in the output rows (k-slab continuation); otherwise the
+// sums start at zero, exactly like the naive kernel's fresh output.
+func gemmKern4x4(a0, a1, a2, a3, bp []float32, kc int, o0, o1, o2, o3 []float32, acc bool) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	if acc {
+		c00, c01, c02, c03 = o0[0], o0[1], o0[2], o0[3]
+		c10, c11, c12, c13 = o1[0], o1[1], o1[2], o1[3]
+		c20, c21, c22, c23 = o2[0], o2[1], o2[2], o2[3]
+		c30, c31, c32, c33 = o3[0], o3[1], o3[2], o3[3]
+	}
+	for p := 0; p < kc; p++ {
+		b := bp[p*gemmNR : p*gemmNR+gemmNR]
+		b3 := b[3]
+		b0, b1, b2 := b[0], b[1], b[2]
+		av := a0[p]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[p]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[p]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[p]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	o0[0], o0[1], o0[2], o0[3] = c00, c01, c02, c03
+	o1[0], o1[1], o1[2], o1[3] = c10, c11, c12, c13
+	o2[0], o2[1], o2[2], o2[3] = c20, c21, c22, c23
+	o3[0], o3[1], o3[2], o3[3] = c30, c31, c32, c33
+}
+
+// gemmKern1x4 handles leftover rows below one micro-tile, four columns at
+// a time.
+func gemmKern1x4(a, bp []float32, kc int, o []float32, acc bool) {
+	var c0, c1, c2, c3 float32
+	if acc {
+		c0, c1, c2, c3 = o[0], o[1], o[2], o[3]
+	}
+	for p := 0; p < kc; p++ {
+		b := bp[p*gemmNR : p*gemmNR+gemmNR]
+		b3 := b[3]
+		b0, b1, b2 := b[0], b[1], b[2]
+		av := a[p]
+		c0 += av * b0
+		c1 += av * b1
+		c2 += av * b2
+		c3 += av * b3
+	}
+	o[0], o[1], o[2], o[3] = c0, c1, c2, c3
+}

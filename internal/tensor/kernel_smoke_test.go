@@ -1,0 +1,50 @@
+package tensor
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestKernelSpeedupSmoke is the CI guard on the tiled kernels' reason to
+// exist: on large shapes the tiled GEMM/conv must actually beat naive.
+// Gated behind NSBENCH_KERNEL_SMOKE because it needs a quiet machine and
+// ~a second of timed work. The asserted floors (1.5x GEMM, 1.2x conv) sit
+// well under the recorded speedups in BENCH_kernels.json (4-5x and ~2x)
+// so scheduler noise cannot flake the job, while still catching any
+// regression that would invalidate the dispatch table.
+func TestKernelSpeedupSmoke(t *testing.T) {
+	if os.Getenv("NSBENCH_KERNEL_SMOKE") == "" {
+		t.Skip("set NSBENCH_KERNEL_SMOKE=1 to run the kernel speedup smoke")
+	}
+
+	minNs := func(fn func(), reps int) int64 {
+		fn() // warm up
+		best := int64(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	g := NewRNG(7)
+	a, b := g.Normal(0, 1, 256, 256), g.Normal(0, 1, 256, 256)
+	naive := minNs(func() { MatMulKernelOn(Serial, KernelNaive, a, b) }, 5)
+	tiled := minNs(func() { MatMulKernelOn(Serial, KernelTiled, a, b) }, 5)
+	if speedup := float64(naive) / float64(tiled); speedup < 1.5 {
+		t.Errorf("tiled GEMM on 256x256x256: %.2fx over naive (naive %dns, tiled %dns), want >= 1.5x", speedup, naive, tiled)
+	}
+
+	in := g.Normal(0, 1, 1, 16, 32, 32)
+	w := g.Normal(0, 1, 16, 16, 3, 3)
+	bias := g.Normal(0, 1, 16)
+	naive = minNs(func() { Conv2DKernelOn(Serial, KernelNaive, in, w, bias, 1, 1) }, 5)
+	tiled = minNs(func() { Conv2DKernelOn(Serial, KernelTiled, in, w, bias, 1, 1) }, 5)
+	if speedup := float64(naive) / float64(tiled); speedup < 1.2 {
+		t.Errorf("tiled conv on 1x16x16x32: %.2fx over naive (naive %dns, tiled %dns), want >= 1.2x", speedup, naive, tiled)
+	}
+}

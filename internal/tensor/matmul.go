@@ -2,14 +2,29 @@ package tensor
 
 import "fmt"
 
+// Accumulation contract: every dense FP32 kernel in this package — GEMM,
+// GEMV, conv — accumulates in float32, rounding once per multiply-add in a
+// fixed serial order over the reduction dimension. That matches the FP32
+// tensor kernels the paper characterizes (cuBLAS sgemm/sgemv accumulate in
+// registers at operand precision), makes MatMul(m×k · k×1) and MatVec
+// agree bit-for-bit on the same math, and is the contract the tiled
+// kernels inherit: a tiled variant may reorder which outputs are in
+// flight, never the order of additions within one output.
+
 // MatMul returns the matrix product of a (m×k) and b (k×n) as an m×n tensor.
 func MatMul(a, b *Tensor) *Tensor { return MatMulOn(Serial, a, b) }
 
-// MatMulOn is MatMul dispatched on r, chunked over output rows. Each row is
-// accumulated in the same i-k-j order as the serial kernel (the inner loop
-// streams both b and the output row, the cache-friendly layout for
-// row-major data), so results are bit-identical for every runner.
-func MatMulOn(r Runner, a, b *Tensor) *Tensor {
+// MatMulOn is MatMul dispatched on r with the auto kernel: the measured
+// dispatch table picks the naive or tiled implementation per shape.
+func MatMulOn(r Runner, a, b *Tensor) *Tensor { return MatMulKernelOn(r, KernelAuto, a, b) }
+
+// MatMulKernelOn is MatMul dispatched on r with an explicit kernel choice,
+// chunked over output rows. Each output element is accumulated in the same
+// serial k-order whatever the kernel and runner (the inner loops stream
+// b — or a packed panel of it — and the output row, the cache-friendly
+// layout for row-major data), so results are bit-identical for every
+// (runner, kernel) combination.
+func MatMulKernelOn(r Runner, kern Kernel, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.shape, b.shape))
 	}
@@ -20,6 +35,12 @@ func MatMulOn(r Runner, a, b *Tensor) *Tensor {
 	}
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
+	if gemmKernel(kern, m, k, n) == KernelTiled {
+		r.For(m, grainFor(2*int64(k)*int64(n)), func(lo, hi int) {
+			matMulRowsTiled(r, ad, bd, od, k, n, lo, hi)
+		})
+		return out
+	}
 	r.For(m, grainFor(2*int64(k)*int64(n)), func(lo, hi int) {
 		matMulRows(ad, bd, od, k, n, lo, hi)
 	})
@@ -48,7 +69,10 @@ func matMulRows(ad, bd, od []float32, k, n, lo, hi int) {
 // MatVec returns the matrix-vector product of a (m×k) and x (k) as a length-m vector.
 func MatVec(a, x *Tensor) *Tensor { return MatVecOn(Serial, a, x) }
 
-// MatVecOn is MatVec dispatched on r, chunked over output elements.
+// MatVecOn is MatVec dispatched on r, chunked over output elements. It
+// accumulates in float32 under the package accumulation contract (see the
+// top of this file): MatVec(a, x) is bit-identical to MatMul(a, x viewed
+// as a k×1 column), pinned by TestMatVecMatchesMatMulColumn.
 func MatVecOn(r Runner, a, x *Tensor) *Tensor {
 	if a.Rank() != 2 || x.Rank() != 1 {
 		panic(fmt.Sprintf("tensor: MatVec needs (2,1)-rank operands, got %v x %v", a.shape, x.shape))
@@ -61,12 +85,12 @@ func MatVecOn(r Runner, a, x *Tensor) *Tensor {
 	ad, xd := a.data, x.data
 	r.For(m, grainFor(2*int64(k)), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			var s float64
+			var s float32
 			row := ad[i*k : (i+1)*k]
 			for p, v := range row {
-				s += float64(v) * float64(xd[p])
+				s += v * xd[p]
 			}
-			out.data[i] = float32(s)
+			out.data[i] = s
 		}
 	})
 	return out
@@ -75,8 +99,15 @@ func MatVecOn(r Runner, a, x *Tensor) *Tensor {
 // BatchMatMul multiplies two rank-3 tensors batch-wise: (B×m×k)·(B×k×n) → B×m×n.
 func BatchMatMul(a, b *Tensor) *Tensor { return BatchMatMulOn(Serial, a, b) }
 
-// BatchMatMulOn is BatchMatMul dispatched on r, chunked over the batch.
+// BatchMatMulOn is BatchMatMul dispatched on r with the auto kernel.
 func BatchMatMulOn(r Runner, a, b *Tensor) *Tensor {
+	return BatchMatMulKernelOn(r, KernelAuto, a, b)
+}
+
+// BatchMatMulKernelOn is BatchMatMul with an explicit kernel choice,
+// chunked over the batch. Per item it runs the same row kernels as MatMul,
+// so each item is bit-identical to the corresponding 2-D product.
+func BatchMatMulKernelOn(r Runner, kern Kernel, a, b *Tensor) *Tensor {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: BatchMatMul needs rank-3 operands, got %v x %v", a.shape, b.shape))
 	}
@@ -89,9 +120,17 @@ func BatchMatMulOn(r Runner, a, b *Tensor) *Tensor {
 	}
 	n := b.shape[2]
 	out := New(bsz, m, n)
+	tiled := gemmKernel(kern, m, k, n) == KernelTiled
 	r.For(bsz, grainFor(2*int64(m)*int64(k)*int64(n)), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			matMulRows(a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], out.data[i*m*n:(i+1)*m*n], k, n, 0, m)
+			ad := a.data[i*m*k : (i+1)*m*k]
+			bd := b.data[i*k*n : (i+1)*k*n]
+			od := out.data[i*m*n : (i+1)*m*n]
+			if tiled {
+				matMulRowsTiled(r, ad, bd, od, k, n, 0, m)
+			} else {
+				matMulRows(ad, bd, od, k, n, 0, m)
+			}
 		}
 	})
 	return out

@@ -1,0 +1,164 @@
+package tensor
+
+// Register-blocked, cache-tiled GEMM.
+//
+// The tiled kernel restructures the naive i-k-j row loop into the classic
+// panel-packed form: B is packed one NC-column panel at a time into a
+// contiguous micro-panel layout (so the inner loop streams it linearly
+// regardless of n), and the output is produced by a 4×4 register
+// micro-kernel that keeps sixteen partial sums in registers across the
+// whole k extent of a panel, loading each A element once per four output
+// columns and each packed B element once per four output rows.
+//
+// Bit-identity with matMulRows is a structural invariant, not an accident:
+// every output element accumulates its k contributions in ascending-p
+// order, one float32 multiply-add rounding per step, exactly like the
+// naive kernel. Tiling only changes which elements are in flight
+// simultaneously — never the order of additions within one element. The
+// k-dimension is blocked in KC slabs to bound the packed panel's footprint;
+// accumulators spill to the output tensor between slabs, which is exact
+// (a float32 store/load round-trips losslessly), so slab boundaries do not
+// change results either.
+const (
+	// gemmMR × gemmNR is the register micro-tile: 16 float32 accumulators
+	// plus the loop-carried A/B values fit the 16 vector registers of
+	// amd64 with modest spill, and 4×4 balances A-row reuse against
+	// packed-panel reuse.
+	gemmMR = 4
+	gemmNR = 4
+	// gemmKC bounds the k extent of a packed panel (one slab).
+	gemmKC = 512
+	// gemmNC bounds the column extent of a packed panel. KC×NC float32 is
+	// 512 KiB — sized to sit in a last-level cache slice while it is
+	// reused by every output row of the chunk.
+	gemmNC = 256
+)
+
+// Scratcher is the scratch-buffer half of Runner, all the tiled kernels
+// need once they are inside a For chunk (a chunk must never re-enter For).
+type Scratcher interface {
+	Scratch32(n int) []float32
+	Release32(buf []float32)
+}
+
+// matMulRowsTiled computes output rows [lo, hi) of an m×k · k×n product,
+// bit-identical to matMulRows over the same rows. It is safe to call from
+// concurrent For chunks: every chunk packs into its own scratch panel.
+func matMulRowsTiled(sp Scratcher, ad, bd, od []float32, k, n, lo, hi int) {
+	kc := k
+	if kc > gemmKC {
+		kc = gemmKC
+	}
+	nc := n
+	if nc > gemmNC {
+		nc = gemmNC
+	}
+	ncr := (nc + gemmNR - 1) / gemmNR * gemmNR
+	panel := sp.Scratch32(kc * ncr)
+	defer sp.Release32(panel)
+
+	for kb := 0; kb < k; kb += gemmKC {
+		ke := kb + gemmKC
+		if ke > k {
+			ke = k
+		}
+		kcb := ke - kb
+		acc := kb > 0 // later slabs continue the sums already in od
+		for jb := 0; jb < n; jb += gemmNC {
+			je := jb + gemmNC
+			if je > n {
+				je = n
+			}
+			ncb := je - jb
+			packB(panel, bd, kb, ke, jb, je, n)
+
+			i := lo
+			for ; i+gemmMR <= hi; i += gemmMR {
+				a0 := ad[(i+0)*k+kb : (i+0)*k+ke]
+				a1 := ad[(i+1)*k+kb : (i+1)*k+ke]
+				a2 := ad[(i+2)*k+kb : (i+2)*k+ke]
+				a3 := ad[(i+3)*k+kb : (i+3)*k+ke]
+				for jj := 0; jj < ncb; jj += gemmNR {
+					bp := panel[(jj/gemmNR)*kcb*gemmNR:]
+					j := jb + jj
+					if ncb-jj >= gemmNR {
+						gemmKern4x4(a0, a1, a2, a3, bp, kcb,
+							od[(i+0)*n+j:(i+0)*n+j+gemmNR],
+							od[(i+1)*n+j:(i+1)*n+j+gemmNR],
+							od[(i+2)*n+j:(i+2)*n+j+gemmNR],
+							od[(i+3)*n+j:(i+3)*n+j+gemmNR], acc)
+					} else {
+						nr := ncb - jj
+						gemmKernEdge(a0, bp, kcb, nr, od[(i+0)*n+j:], acc)
+						gemmKernEdge(a1, bp, kcb, nr, od[(i+1)*n+j:], acc)
+						gemmKernEdge(a2, bp, kcb, nr, od[(i+2)*n+j:], acc)
+						gemmKernEdge(a3, bp, kcb, nr, od[(i+3)*n+j:], acc)
+					}
+				}
+			}
+			for ; i < hi; i++ { // leftover rows below one micro-tile
+				arow := ad[i*k+kb : i*k+ke]
+				for jj := 0; jj < ncb; jj += gemmNR {
+					bp := panel[(jj/gemmNR)*kcb*gemmNR:]
+					j := jb + jj
+					if ncb-jj >= gemmNR {
+						gemmKern1x4(arow, bp, kcb, od[i*n+j:i*n+j+gemmNR], acc)
+					} else {
+						gemmKernEdge(arow, bp, kcb, ncb-jj, od[i*n+j:], acc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packB copies B[kb:ke, jb:je] into dst in micro-panel order: consecutive
+// NR-column strips, each laid out p-major, so the micro-kernel streams the
+// panel with unit stride. Ragged strips are zero-padded to NR; the padded
+// columns are never read back.
+func packB(dst, bd []float32, kb, ke, jb, je, n int) {
+	kc := ke - kb
+	nc := je - jb
+	for jj := 0; jj < nc; jj += gemmNR {
+		mp := dst[(jj/gemmNR)*kc*gemmNR:]
+		if nc-jj >= gemmNR {
+			for p := 0; p < kc; p++ {
+				row := bd[(kb+p)*n+jb+jj:]
+				q := mp[p*gemmNR : p*gemmNR+gemmNR]
+				q[0], q[1], q[2], q[3] = row[0], row[1], row[2], row[3]
+			}
+			continue
+		}
+		nr := nc - jj
+		for p := 0; p < kc; p++ {
+			row := bd[(kb+p)*n+jb+jj:]
+			q := mp[p*gemmNR : p*gemmNR+gemmNR]
+			for c := 0; c < gemmNR; c++ {
+				if c < nr {
+					q[c] = row[c]
+				} else {
+					q[c] = 0
+				}
+			}
+		}
+	}
+}
+
+// gemmKern4x4 and gemmKern1x4 — the register micro-kernels — live in
+// gemm_kern_amd64.go (SSE assembly) and gemm_kern_noasm.go (portable
+// scalar), both implementing the same ascending-p per-element contract.
+
+// gemmKernEdge handles the ragged last columns (nr < NR) of a panel, one
+// output element at a time, in the same ascending-p order.
+func gemmKernEdge(a, bp []float32, kc, nr int, o []float32, acc bool) {
+	for c := 0; c < nr; c++ {
+		var s float32
+		if acc {
+			s = o[c]
+		}
+		for p := 0; p < kc; p++ {
+			s += a[p] * bp[p*gemmNR+c]
+		}
+		o[c] = s
+	}
+}

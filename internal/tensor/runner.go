@@ -18,6 +18,11 @@ type Runner interface {
 	Scratch(n int) []float64
 	// Release returns a buffer obtained from Scratch.
 	Release(buf []float64)
+	// Scratch32 returns a float32 buffer with at least n usable elements
+	// (packed GEMM panels). Safe to call from concurrent For chunks.
+	Scratch32(n int) []float32
+	// Release32 returns a buffer obtained from Scratch32.
+	Release32(buf []float32)
 }
 
 // serialRunner is the inline, allocation-only Runner: the plain kernel
@@ -35,6 +40,10 @@ func (serialRunner) For(n, grain int, fn func(lo, hi int)) {
 func (serialRunner) Scratch(n int) []float64 { return make([]float64, n) }
 
 func (serialRunner) Release([]float64) {}
+
+func (serialRunner) Scratch32(n int) []float32 { return make([]float32, n) }
+
+func (serialRunner) Release32([]float32) {}
 
 // Serial is the default inline Runner.
 var Serial Runner = serialRunner{}

@@ -25,6 +25,16 @@ func (p *poisonRunner) Scratch(n int) []float64 {
 
 func (p *poisonRunner) Release([]float64) { p.released++ }
 
+func (p *poisonRunner) Scratch32(n int) []float32 {
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(math.NaN())
+	}
+	return buf
+}
+
+func (p *poisonRunner) Release32([]float32) { p.released++ }
+
 // TestCircularConvFFTPoisonedScratch checks the FFT convolution path — the
 // main Scratch consumer — against the direct kernel under poisoned scratch.
 func TestCircularConvFFTPoisonedScratch(t *testing.T) {
