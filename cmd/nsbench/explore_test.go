@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/dse"
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/ops"
+)
+
+// TestRunExploreArtifact runs the -explore smoke end to end on the
+// cheapest real workload and checks the artifact: full 256-point coverage,
+// zero failures, a non-empty front, and a re-projection speedup over the
+// acceptance floor of 50x.
+func TestRunExploreArtifact(t *testing.T) {
+	path := t.TempDir() + "/BENCH_explore.json"
+	if err := runExplore(path, "LNN", hwsim.RTX2080Ti, ops.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art dse.Artifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Workload != "LNN" || art.GridSize != 256 {
+		t.Fatalf("artifact header wrong: %+v", art)
+	}
+	if art.Evaluated != 256 || art.Failed != 0 {
+		t.Fatalf("evaluated %d failed %d, want 256/0", art.Evaluated, art.Failed)
+	}
+	if art.FrontSize == 0 || len(art.Front) != art.FrontSize {
+		t.Fatalf("front missing: size %d, len %d", art.FrontSize, len(art.Front))
+	}
+	if art.CharacterizeNs <= 0 || art.PointsPerSec <= 0 {
+		t.Fatalf("timings missing: %+v", art)
+	}
+	if art.ReprojectionSpeedup < 50 {
+		t.Fatalf("re-projection speedup %.1fx below the 50x floor", art.ReprojectionSpeedup)
+	}
+}

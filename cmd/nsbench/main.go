@@ -8,6 +8,7 @@
 //	nsbench -experiment fig2a|fig2b|fig2c|fig3a|fig3b|fig3c|fig4|fig5|tab1|tab4|sweep
 //	nsbench -batch 8    # continuous-batching comparison: 1 batched pass of 8 vs 8 solo runs
 //	nsbench -kernel-bench BENCH_kernels.json   # naive-vs-tiled kernel rooflines
+//	nsbench -explore BENCH_explore.json        # design-space sweep over the cached NVSA trace
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	batch := flag.Int("batch", 0, "run the continuous-batching comparison instead of -experiment: one batched pass of N items vs N sequential solo runs, per workload (N >= 2)")
 	kernelName := flag.String("kernel", "auto", "GEMM/conv kernel implementation: auto (measured dispatch table), naive, or tiled")
 	kernelBench := flag.String("kernel-bench", "", "benchmark naive vs tiled kernels over the workload operator shapes and write the roofline table (BENCH_kernels.json format) to this file instead of running -experiment")
+	explore := flag.String("explore", "", "run the design-space exploration smoke instead of -experiment: characterize -explore-workload once, sweep the default 256-point config space over the cached trace, and write the BENCH_explore.json artifact to this file")
+	exploreWorkload := flag.String("explore-workload", "NVSA", "workload the -explore sweep characterizes and projects")
 	flag.Parse()
 
 	if *kernelBench != "" {
@@ -48,6 +51,12 @@ func main() {
 	eng := ops.Config{Backend: *backendName, Workers: *workers, Kernel: *kernelName}
 	if err := eng.Validate(); err != nil {
 		fatal(err)
+	}
+	if *explore != "" {
+		if err := runExplore(*explore, *exploreWorkload, dev, eng); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *batch != 0 {
 		if *batch < 2 {

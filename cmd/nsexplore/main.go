@@ -1,0 +1,159 @@
+// Command nsexplore drives a design-space exploration sweep against an
+// nsserve replica or an nsrouter cluster and renders the streamed results:
+// live progress on stderr, the latency x cost Pareto front on stdout, and
+// the BENCH_explore.json artifact on disk.
+//
+// Usage:
+//
+//	nsexplore -server http://localhost:8080 -workload NVSA
+//	nsexplore -spec space.json -out BENCH_explore.json
+//
+// The spec file is a JSON config space (the "space" object of the
+// /v1/explore request); without one the stock 256-point default space is
+// swept. Pointed at a router, the sweep is sharded across every live
+// replica and the merged front is exact — byte-identical to a single-node
+// sweep.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/dse"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "nsserve or nsrouter base URL")
+	workload := flag.String("workload", "NVSA", "workload to characterize and project")
+	device := flag.String("device", "", "base device name (empty = server default, the RTX 2080 Ti)")
+	spec := flag.String("spec", "", "JSON file holding the config space to sweep (empty = the stock 256-point default space)")
+	out := flag.String("out", "BENCH_explore.json", "artifact output path (empty disables)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall sweep timeout")
+	quiet := flag.Bool("quiet", false, "disable streaming progress on stderr")
+	flag.Parse()
+
+	if err := run(*server, *workload, *device, *spec, *out, *timeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "nsexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, workload, device, spec, out string, timeout time.Duration, quiet bool) error {
+	space := dse.DefaultSpace()
+	if spec != "" {
+		b, err := os.ReadFile(spec)
+		if err != nil {
+			return err
+		}
+		space = dse.Space{}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&space); err != nil {
+			return fmt.Errorf("parsing %s: %w", spec, err)
+		}
+	}
+	reqBody, err := json.Marshal(struct {
+		Workload string    `json:"workload"`
+		Device   string    `json:"device,omitempty"`
+		Space    dse.Space `json:"space"`
+	}{workload, device, space})
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(server+"/v1/explore", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(bufio.NewReader(resp.Body))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+
+	var meta *dse.ChunkMeta
+	var sum *dse.Summary
+	points := 0
+	start := time.Now()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var c dse.Chunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			return fmt.Errorf("bad stream chunk %.120q: %w", sc.Text(), err)
+		}
+		switch c.Type {
+		case "meta":
+			meta = c.Meta
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "nsexplore: sweeping %d points of %s on %s",
+					meta.GridSize, meta.Workload, meta.Device)
+				if meta.Shards > 1 {
+					fmt.Fprintf(os.Stderr, " across %d shards", meta.Shards)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		case "point":
+			points++
+			if !quiet && meta != nil && points%64 == 0 {
+				fmt.Fprintf(os.Stderr, "nsexplore: %d/%d points (%.0f/s)\n",
+					points, meta.GridSize, float64(points)/time.Since(start).Seconds())
+			}
+		case "summary":
+			sum = c.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if sum == nil {
+		return fmt.Errorf("stream ended without a summary after %d points", points)
+	}
+	for _, e := range sum.Errors {
+		fmt.Fprintln(os.Stderr, "nsexplore: shard error:", e)
+	}
+
+	fmt.Printf("Design-space exploration — %s on a space over %s\n", sum.Workload, sum.Device)
+	fmt.Printf("%d/%d points evaluated (%d failed) in %v (%.0f points/s)\n",
+		sum.Evaluated, sum.GridSize, sum.Failed,
+		time.Duration(sum.ElapsedNs).Round(time.Millisecond), sum.PointsPerSec)
+	fmt.Printf("\nPareto front (latency x cost), %d points:\n", sum.FrontSize)
+	fmt.Printf("%6s %12s %10s %10s %8s %9s\n", "index", "latency", "cost", "GFLOP/s", "GB/s", "symbolic%")
+	for _, p := range sum.Front {
+		fmt.Printf("%6d %12v %10.1f %10.0f %8.0f %8.1f%%\n",
+			p.Index, time.Duration(p.LatencyNs).Round(time.Microsecond), p.Cost,
+			p.Knobs.PeakGFLOPs*p.Knobs.PEs*p.Knobs.FreqScale, p.Knobs.MemBWGBs, 100*p.SymbolicShare)
+	}
+
+	if out == "" {
+		return nil
+	}
+	art := dse.Artifact{
+		Workload:     sum.Workload,
+		Device:       sum.Device,
+		GridSize:     sum.GridSize,
+		Evaluated:    sum.Evaluated,
+		Failed:       sum.Failed,
+		ElapsedNs:    sum.ElapsedNs,
+		PointsPerSec: sum.PointsPerSec,
+		FrontSize:    sum.FrontSize,
+		Front:        sum.Front,
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nsexplore: wrote %s\n", out)
+	return nil
+}

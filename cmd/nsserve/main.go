@@ -15,6 +15,8 @@
 //
 //	curl localhost:8080/v1/workloads
 //	curl -X POST localhost:8080/v1/characterize -d '{"workload":"NVSA"}'
+//	curl -N -X POST localhost:8080/v1/explore \
+//	  -d '{"workload":"NVSA","space":{"mem_bw_gbs":{"min":60,"max":1200,"steps":8,"log":true}}}'
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics    # Prometheus text exposition
 //	curl localhost:8080/healthz    # liveness probe (process up)
@@ -63,6 +65,8 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "request-coalescing window: cache-missing requests for the same workload arriving within it run as one batched engine pass (0 disables)")
 	batchMax := flag.Int("batch-max", 0, "max requests coalesced into one batch (0 = default 8)")
+	exploreMaxPoints := flag.Int("explore-max-points", 0, "max grid points per /v1/explore sweep (0 = default 65536)")
+	exploreConcurrency := flag.Int("explore-concurrency", 0, "concurrent /v1/explore sweeps before 429 (0 = default 2)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
@@ -71,16 +75,18 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv, err := serve.New(serve.Config{
-		Engine:         ops.Config{Backend: *backendName, Workers: *workers},
-		CacheSize:      *cacheSize,
-		QueueDepth:     *queueDepth,
-		Concurrency:    *concurrency,
-		RequestTimeout: *timeout,
-		RecorderSize:   *recorderSize,
-		Logger:         logger,
-		Pprof:          *enablePprof,
-		BatchWindow:    *batchWindow,
-		BatchMax:       *batchMax,
+		Engine:             ops.Config{Backend: *backendName, Workers: *workers},
+		CacheSize:          *cacheSize,
+		QueueDepth:         *queueDepth,
+		Concurrency:        *concurrency,
+		RequestTimeout:     *timeout,
+		RecorderSize:       *recorderSize,
+		Logger:             logger,
+		Pprof:              *enablePprof,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
+		ExploreMaxPoints:   *exploreMaxPoints,
+		ExploreConcurrency: *exploreConcurrency,
 	})
 	if err != nil {
 		fatal(err)

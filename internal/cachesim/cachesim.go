@@ -87,6 +87,14 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+// Clone returns a fresh cache with the same geometry and empty contents
+// and counters. Concurrent simulations must not share a Cache (Access
+// mutates tags, recency and counters on every call); cloning the geometry
+// gives each goroutine its own state.
+func (c *Cache) Clone() *Cache {
+	return NewCache(c.name, c.sets*c.ways*c.lineSize, c.ways, c.lineSize)
+}
+
 // HitRate returns hits/accesses, or 0 for an untouched cache.
 func (c *Cache) HitRate() float64 {
 	if c.Accesses == 0 {
@@ -130,6 +138,15 @@ func (h *Hierarchy) Access(addr uint64) {
 		return
 	}
 	h.DRAMBytes += uint64(h.L2.lineSize)
+}
+
+// Clone returns a fresh hierarchy with the same L1/L2 geometry and empty
+// contents and counters. A Hierarchy is not safe for concurrent use; sweep
+// shards that replay the same access stream in parallel clone one
+// prototype hierarchy per goroutine instead of sharing mutable cache
+// state.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return NewHierarchy(h.L1.Clone(), h.L2.Clone())
 }
 
 // Stats summarizes a simulated stream.

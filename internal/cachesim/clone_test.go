@@ -1,0 +1,80 @@
+package cachesim
+
+import (
+	"sync"
+	"testing"
+)
+
+func testHierarchy() *Hierarchy {
+	return NewHierarchy(
+		NewCache("L1", 32*1024, 4, 64),
+		NewCache("L2", 1024*1024, 16, 64),
+	)
+}
+
+func TestCloneGeometryAndFreshCounters(t *testing.T) {
+	h := testHierarchy()
+	// Dirty the prototype so the clone's freshness is observable.
+	GEMMStream(h, 16, 16, 16, 4, 1<<12)
+	if h.L1.Accesses == 0 {
+		t.Fatal("prototype saw no accesses")
+	}
+	c := h.Clone()
+	if c.L1.Accesses != 0 || c.L1.Misses != 0 || c.L2.Accesses != 0 || c.DRAMBytes != 0 {
+		t.Fatalf("clone counters not fresh: %+v", c.Stats())
+	}
+	if c.L1.LineSize() != h.L1.LineSize() || c.L2.LineSize() != h.L2.LineSize() {
+		t.Fatal("clone changed line sizes")
+	}
+	if c.L1.sets != h.L1.sets || c.L1.ways != h.L1.ways || c.L2.sets != h.L2.sets || c.L2.ways != h.L2.ways {
+		t.Fatalf("clone changed geometry: L1 %d/%d vs %d/%d, L2 %d/%d vs %d/%d",
+			c.L1.sets, c.L1.ways, h.L1.sets, h.L1.ways, c.L2.sets, c.L2.ways, h.L2.sets, h.L2.ways)
+	}
+	// Same stream over the clone reproduces the prototype's stats exactly:
+	// geometry is all that determines hit behaviour.
+	GEMMStream(c, 16, 16, 16, 4, 1<<12)
+	if c.Stats() != h.Stats() {
+		t.Fatalf("clone stats %v != prototype stats %v", c.Stats(), h.Stats())
+	}
+	// And the clone never perturbed the prototype.
+	before := h.Stats()
+	c2 := h.Clone()
+	EltwiseStream(c2, 2, 2, 1<<16, false, 1<<12)
+	if h.Stats() != before {
+		t.Fatal("accessing a clone mutated the prototype")
+	}
+}
+
+// TestCloneConcurrentReplay replays one identical access stream over
+// per-goroutine clones of a single prototype hierarchy, under -race in
+// CI. Every clone must report identical statistics and the race detector
+// must stay silent — the property concurrent sweep shards rely on.
+func TestCloneConcurrentReplay(t *testing.T) {
+	proto := testHierarchy()
+	want := proto.Clone()
+	replay := func(h *Hierarchy) {
+		GEMMStream(h, 24, 24, 24, 4, 1<<13)
+		EltwiseStream(h, 2, 2, 1<<15, false, 1<<12)
+		GatherStream(h, 1<<18, 512, 1, 1<<12)
+	}
+	replay(want)
+
+	const goroutines = 8
+	stats := make([]Stats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := proto.Clone()
+			replay(h)
+			stats[i] = h.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range stats {
+		if st != want.Stats() {
+			t.Fatalf("goroutine %d stats %v != reference %v", i, st, want.Stats())
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/dse"
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/serve"
+)
+
+// handleExplore fans one design-space sweep out across the cluster. The
+// grid is partitioned into min(live replicas, grid size) shards — shard i
+// owns the indices congruent to i — and each shard is streamed from a
+// replica chosen by consistent hashing on the sweep-shard key
+// (canonical key + "\x00explore-shard-i"), with failover to the next ring
+// nodes on transport errors or gateway-class statuses.
+//
+// The client sees one interleaved NDJSON stream: the router's meta chunk
+// first, then every replica's point chunks forwarded verbatim as they
+// arrive (deduplicated by grid index, so a shard retried after a partial
+// stream never repeats a point), and finally one merged summary whose
+// Pareto front is dse.MergeFronts over the shard fronts — provably equal
+// to the front a single replica would compute over the whole grid, and
+// byte-identical to it because point evaluation is deterministic.
+func (rt *Router) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req serve.ExploreRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ShardCount != 0 || req.ShardIndex != 0 {
+		http.Error(w, "shard_index/shard_count are router-assigned; sweep the whole grid", http.StatusBadRequest)
+		return
+	}
+	canon, key, err := serve.Canonicalize(serve.Request{Workload: req.Workload, Device: req.Device})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dev, err := hwsim.DeviceByName(canon.Device)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Resolving the grid here both validates the space before any bytes
+	// stream and fixes the shard count against the grid size.
+	grid, err := dse.Resolve(dev, req.Space)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	live := rt.ring.Len()
+	if live == 0 {
+		http.Error(w, errNoReplicas.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	shards := live
+	if grid.Size() < shards {
+		shards = grid.Size()
+	}
+	rt.exploreSweeps.Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	out := &streamWriter{w: w, flusher: flusher, sent: make(map[int]bool)}
+	out.writeChunk(dse.Chunk{Type: "meta", Meta: &dse.ChunkMeta{
+		Workload:   canon.Workload,
+		Device:     canon.Device,
+		GridSize:   grid.Size(),
+		ShardIndex: 0,
+		ShardCount: 1,
+		Shards:     shards,
+	}})
+
+	id := requestID(r)
+	start := time.Now()
+	summaries := make([]*dse.Summary, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			summaries[shard], errs[shard] = rt.streamShard(r.Context(), key, canon, req.Space, shard, shards, id, out)
+		}(i)
+	}
+	wg.Wait()
+
+	sum := &dse.Summary{
+		Workload:   canon.Workload,
+		Device:     canon.Device,
+		GridSize:   grid.Size(),
+		ShardIndex: 0,
+		ShardCount: 1,
+	}
+	var fronts [][]dse.PointResult
+	for i, s := range summaries {
+		if errs[i] != nil {
+			sum.Errors = append(sum.Errors, fmt.Sprintf("shard %d/%d: %v", i, shards, errs[i]))
+			continue
+		}
+		sum.Evaluated += s.Evaluated
+		sum.Failed += s.Failed
+		fronts = append(fronts, s.Front)
+	}
+	sum.Front = dse.MergeFronts(fronts...)
+	sum.FrontSize = len(sum.Front)
+	elapsed := time.Since(start)
+	sum.ElapsedNs = elapsed.Nanoseconds()
+	if s := elapsed.Seconds(); s > 0 {
+		sum.PointsPerSec = float64(sum.Evaluated) / s
+	}
+	out.writeChunk(dse.Chunk{Type: "summary", Summary: sum})
+}
+
+// streamWriter serializes interleaved shard streams onto one client
+// connection: point lines are forwarded verbatim under the lock,
+// deduplicated by grid index so shard retries never repeat a point.
+type streamWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	flusher http.Flusher
+	sent    map[int]bool
+	err     error // first client write error; fails every later write
+}
+
+// writeChunk marshals and writes one router-authored chunk.
+func (sw *streamWriter) writeChunk(c dse.Chunk) error {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	return sw.writeLine(b, -1)
+}
+
+// writeLine writes one NDJSON line. index >= 0 marks a point line subject
+// to deduplication.
+func (sw *streamWriter) writeLine(line []byte, index int) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.err != nil {
+		return sw.err
+	}
+	if index >= 0 {
+		if sw.sent[index] {
+			return nil
+		}
+		sw.sent[index] = true
+	}
+	if _, err := sw.w.Write(append(line, '\n')); err != nil {
+		sw.err = err
+		return err
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return nil
+}
+
+// streamShard streams one shard of the sweep from its ring-assigned
+// replica, forwarding point lines into out and returning the shard
+// summary. On a retryable failure — transport error, gateway-class or 429
+// status, or a stream that dies before its summary — the shard is re-run
+// on the next ring node; already-forwarded points are suppressed by the
+// writer's index dedupe, and the engine's determinism makes the retried
+// points byte-identical to the originals.
+func (rt *Router) streamShard(ctx context.Context, key string, canon serve.Request, space dse.Space, shard, shards int, id string, out *streamWriter) (*dse.Summary, error) {
+	shardKey := key + "\x00explore-shard-" + strconv.Itoa(shard)
+	nodes := rt.ring.GetN(shardKey, rt.cfg.MaxAttempts)
+	if len(nodes) == 0 {
+		return nil, errNoReplicas
+	}
+	body, err := json.Marshal(serve.ExploreRequest{
+		Workload:   canon.Workload,
+		Device:     canon.Device,
+		Space:      space,
+		ShardIndex: shard,
+		ShardCount: shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i, node := range nodes {
+		if i > 0 {
+			rt.retries.Inc()
+			select {
+			case <-time.After(rt.backoff(i)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		sum, err := rt.streamShardFrom(ctx, node, body, id, out)
+		if err == nil {
+			rt.exploreShards.Inc()
+			return sum, nil
+		}
+		lastErr = err
+		if rt.logger != nil {
+			rt.logger.Warn("explore shard attempt failed", "node", node, "shard", shard, "id", id, "err", err)
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// errShardStatus wraps a non-200 upstream answer so streamShard can fail
+// over on it.
+type errShardStatus struct {
+	code int
+	body string
+}
+
+func (e *errShardStatus) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+// streamShardFrom runs one shard attempt against one replica, forwarding
+// its point lines and returning its summary.
+func (rt *Router) streamShardFrom(ctx context.Context, node string, body []byte, id string, out *streamWriter) (*dse.Summary, error) {
+	// No per-attempt timeout: a large shard legitimately streams for a
+	// while, and a wedged upstream is caught by the request context (client
+	// disconnect) or the scan loop erroring out.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/explore", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", id)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.nodeErrs.With(node).Inc()
+		rt.health.ReportFailure(node)
+		return nil, fmt.Errorf("%s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	rt.nodeReqs.With(node, strconv.Itoa(resp.StatusCode)).Inc()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			rt.health.ReportFailure(node)
+		case http.StatusTooManyRequests:
+			// Backpressure, not ill health; the next node may have a slot.
+		default:
+			rt.health.ReportSuccess(node)
+		}
+		return nil, &errShardStatus{code: resp.StatusCode, body: string(bytes.TrimSpace(b))}
+	}
+
+	var summary *dse.Summary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), maxBodyBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var c dse.Chunk
+		if err := json.Unmarshal(line, &c); err != nil {
+			rt.health.ReportFailure(node)
+			return nil, fmt.Errorf("%s: bad chunk %.80q: %w", node, line, err)
+		}
+		switch c.Type {
+		case "meta":
+			// The shard's own meta is router-internal; the client already
+			// got the sweep-level one.
+		case "point":
+			if c.Point == nil {
+				return nil, fmt.Errorf("%s: point chunk without point", node)
+			}
+			if err := out.writeLine(append([]byte(nil), line...), c.Point.Index); err != nil {
+				return nil, err
+			}
+		case "summary":
+			summary = c.Summary
+		default:
+			return nil, fmt.Errorf("%s: unknown chunk type %q", node, c.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		rt.nodeErrs.With(node).Inc()
+		rt.health.ReportFailure(node)
+		return nil, fmt.Errorf("%s: stream: %w", node, err)
+	}
+	if summary == nil {
+		rt.health.ReportFailure(node)
+		return nil, fmt.Errorf("%s: stream ended without a summary", node)
+	}
+	rt.health.ReportSuccess(node)
+	return summary, nil
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/dse"
+)
+
+// exploreSpace is a 4x4x2x2x2x2 = 256-point space, comfortably above the
+// 200-point fan-out floor pinned by the acceptance criteria.
+const exploreSpace = `{
+	"peak_gflops":{"min":1000,"max":16000,"steps":4,"log":true},
+	"mem_bw_gbs":{"min":60,"max":1200,"steps":4,"log":true},
+	"pes":{"values":[1,2]},
+	"dataflow_eff":{"values":[1,1.5]},
+	"l1_kb":{"values":[64,128]},
+	"l2_kb":{"values":[2048,8192]}}`
+
+// postExploreStream issues one explore request and parses the NDJSON
+// stream into chunks, keeping each point line's raw bytes for the
+// byte-identity assertions.
+func postExploreStream(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, []dse.Chunk, map[int]string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/explore", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return rec, nil, nil
+	}
+	var chunks []dse.Chunk
+	rawPoints := make(map[int]string)
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var c dse.Chunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("bad NDJSON line %.120q: %v", sc.Text(), err)
+		}
+		chunks = append(chunks, c)
+		if c.Type == "point" {
+			rawPoints[c.Point.Index] = sc.Text()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, chunks, rawPoints
+}
+
+// TestExploreFanOut is the end-to-end pin for the distributed sweep: a
+// ~256-point grid fanned across two live replicas streams incrementally,
+// fails zero points, and merges to a global Pareto front byte-identical
+// to the one a single replica computes over the whole grid.
+func TestExploreFanOut(t *testing.T) {
+	wls := testWorkloads()
+	repA, repB := startReplica(t), startReplica(t)
+	rt, err := New(Config{Replicas: []string{repA.hs.URL, repB.hs.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	body := `{"workload":"` + wls[0] + `","space":` + exploreSpace + `}`
+	rec, chunks, rawPoints := postExploreStream(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	meta := chunks[0]
+	if meta.Type != "meta" || meta.Meta == nil {
+		t.Fatalf("first chunk %+v, want meta", meta)
+	}
+	if meta.Meta.GridSize != 256 || meta.Meta.Shards != 2 {
+		t.Fatalf("meta = %+v, want 256 points over 2 shards", meta.Meta)
+	}
+
+	last := chunks[len(chunks)-1]
+	if last.Type != "summary" || last.Summary == nil {
+		t.Fatalf("last chunk %+v, want summary", last)
+	}
+	sum := last.Summary
+	if len(sum.Errors) != 0 {
+		t.Fatalf("shard errors: %v", sum.Errors)
+	}
+	if sum.Evaluated != 256 || sum.Failed != 0 {
+		t.Fatalf("evaluated %d failed %d, want 256/0", sum.Evaluated, sum.Failed)
+	}
+	if len(rawPoints) != 256 {
+		t.Fatalf("stream carried %d distinct points, want 256", len(rawPoints))
+	}
+	if sum.FrontSize == 0 || len(sum.Front) != sum.FrontSize {
+		t.Fatalf("merged front missing: size %d, len %d", sum.FrontSize, len(sum.Front))
+	}
+
+	// Both replicas actually served shards: the fan-out was real.
+	if rt.exploreShards.Value() != 2 {
+		t.Fatalf("%d shard streams completed, want 2", rt.exploreShards.Value())
+	}
+
+	// Single-node reference: the same sweep on one replica directly.
+	resp, err := http.Post(repA.hs.URL+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var single *dse.Summary
+	singlePoints := make(map[int]string)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var c dse.Chunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatal(err)
+		}
+		switch c.Type {
+		case "point":
+			singlePoints[c.Point.Index] = sc.Text()
+		case "summary":
+			single = c.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if single == nil {
+		t.Fatal("single-node sweep produced no summary")
+	}
+
+	// The acceptance pin: the merged cluster front is byte-identical to
+	// the single-node front.
+	merged, _ := json.Marshal(sum.Front)
+	ref, _ := json.Marshal(single.Front)
+	if !bytes.Equal(merged, ref) {
+		t.Fatalf("merged front != single-node front:\n%s\n%s", merged, ref)
+	}
+	// And so is every streamed point line (determinism across replicas).
+	for idx, line := range singlePoints {
+		if got, ok := rawPoints[idx]; !ok || got != line {
+			t.Fatalf("point %d differs between cluster and single node:\n%s\n%s", idx, rawPoints[idx], line)
+		}
+	}
+}
+
+// TestExploreFanOutShardRetry pins shard failover: with one replica dead
+// at stream time, its shards fail over to the live one and the sweep
+// still completes every point with an exact front.
+func TestExploreFanOutShardRetry(t *testing.T) {
+	wls := testWorkloads()
+	repA, repB := startReplica(t), startReplica(t)
+	rt, err := New(Config{Replicas: []string{repA.hs.URL, repB.hs.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	// Kill B's listener without telling the health checker: the router
+	// still plans 2 shards, and B's shard must fail over to A.
+	repB.hs.Close()
+
+	body := `{"workload":"` + wls[1] + `","space":` + exploreSpace + `}`
+	rec, chunks, rawPoints := postExploreStream(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	sum := chunks[len(chunks)-1].Summary
+	if sum == nil {
+		t.Fatal("no summary chunk")
+	}
+	if len(sum.Errors) != 0 {
+		t.Fatalf("shard errors after failover: %v", sum.Errors)
+	}
+	if sum.Evaluated != 256 || len(rawPoints) != 256 {
+		t.Fatalf("evaluated %d, streamed %d distinct points, want 256/256", sum.Evaluated, len(rawPoints))
+	}
+	if sum.FrontSize == 0 {
+		t.Fatal("empty front after failover")
+	}
+}
+
+// TestExploreRouterValidation pins the router-side request checks.
+func TestExploreRouterValidation(t *testing.T) {
+	testWorkloads()
+	rep := startReplica(t)
+	rt, err := New(Config{Replicas: []string{rep.hs.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	h := rt.Handler()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"nope"}`, http.StatusBadRequest},
+		{"client-set shards", `{"workload":"clusterfast-a","shard_count":4}`, http.StatusBadRequest},
+		{"bad space", `{"workload":"clusterfast-a","space":{"pes":{"min":2,"max":1,"steps":2}}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/explore", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}

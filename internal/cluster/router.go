@@ -139,6 +139,9 @@ type Router struct {
 	hedgeWon   *metrics.Counter
 	attemptLat *metrics.Histogram // successful-attempt latency; arms the hedge timer
 
+	exploreSweeps *metrics.Counter // ns_explore_sweeps_total (router-level fan-outs)
+	exploreShards *metrics.Counter // ns_explore_shards_total (shard streams completed)
+
 	reqNonce string
 	reqSeq   atomic.Uint64
 
@@ -178,6 +181,10 @@ func New(cfg Config) (*Router, error) {
 			"Hedge attempts that answered before the primary."),
 		attemptLat: reg.Histogram("nsrouter_attempt_seconds",
 			"Latency of successful upstream attempts (feeds the hedge delay).", metrics.LatencyBuckets()),
+		exploreSweeps: reg.Counter("ns_explore_sweeps_total",
+			"Design-space sweeps fanned out across the cluster."),
+		exploreShards: reg.Counter("ns_explore_shards_total",
+			"Sweep shard streams completed by replicas."),
 		reqNonce: newNonce(),
 	}
 	nodes := make([]string, len(cfg.Replicas))
@@ -223,6 +230,7 @@ func (rt *Router) Close() {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/characterize", rt.instrument("/v1/characterize", rt.handleCharacterize))
+	mux.HandleFunc("/v1/explore", rt.instrument("/v1/explore", rt.handleExplore))
 	mux.HandleFunc("/v1/workloads", rt.instrument("/v1/workloads", rt.handleWorkloads))
 	mux.HandleFunc("/v1/trace", rt.instrument("/v1/trace", rt.handleTrace))
 	mux.HandleFunc("/v1/stats", rt.instrument("/v1/stats", rt.handleStats))
@@ -288,6 +296,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so the fanned-out /v1/explore
+// stream reaches the client incrementally through the instrumentation.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // allowMethods gates r to the listed methods (405 + Allow otherwise).

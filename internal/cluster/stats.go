@@ -81,6 +81,9 @@ func (rt *Router) aggregate(r *http.Request) ClusterStats {
 		c.RunNanos += s.RunNanos
 		c.CacheSize += s.CacheSize
 		c.QueueDepth += s.QueueDepth
+		c.BatchesRun += s.BatchesRun
+		c.SweepsRun += s.SweepsRun
+		c.PointsEvaluated += s.PointsEvaluated
 	}
 	if out.Cluster.Runs > 0 {
 		out.Cluster.AvgRunNanos = out.Cluster.RunNanos / out.Cluster.Runs

@@ -1,0 +1,315 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/trace"
+)
+
+// testTrace is a small synthetic neuro-symbolic trace: GEMM-heavy neural
+// phase, gather/scalar symbolic phase, plus transfers. Several events share
+// a cost tuple so signature dedup has something to merge.
+func testTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	add := func(kernel string, phase trace.Phase, flops, bytes int64, n int) {
+		for i := 0; i < n; i++ {
+			tr.Events = append(tr.Events, trace.Event{
+				Seq: len(tr.Events), Name: kernel, Kernel: kernel,
+				Phase: phase, FLOPs: flops, Bytes: bytes,
+			})
+		}
+	}
+	add("memcpy_h2d", trace.Neural, 0, 1<<20, 2)
+	add("sgemm_nn", trace.Neural, 1<<27, 1<<22, 6)
+	add("relu_nn", trace.Neural, 1<<20, 1<<21, 6)
+	add("gather", trace.Symbolic, 0, 1<<22, 8)
+	add("vectorized_elem", trace.Symbolic, 1<<24, 1<<23, 4)
+	add("transform", trace.Symbolic, 0, 1<<19, 3)
+	return tr
+}
+
+func testEngine(t *testing.T, space Space) *Engine {
+	t.Helper()
+	g, err := Resolve(hwsim.RTX2080Ti, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(g, testTrace())
+}
+
+func TestSignatureCompression(t *testing.T) {
+	sig := buildSignature(testTrace())
+	// 6 distinct cost tuples from 29 events.
+	if len(sig.events) != 6 {
+		t.Fatalf("signature has %d rows, want 6", len(sig.events))
+	}
+	var n int64
+	for _, ev := range sig.events {
+		n += ev.count
+	}
+	if n != 29 {
+		t.Fatalf("signature multiplicities sum to %d, want 29", n)
+	}
+	if !sig.events[0].h2d {
+		t.Fatalf("first row should be the h2d copy: %+v", sig.events[0])
+	}
+	wantFlops := int64(6<<27 + 6<<20 + 4<<24)
+	if sig.flops != wantFlops {
+		t.Fatalf("total flops = %d, want %d", sig.flops, wantFlops)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	space := DefaultSpace()
+	e1 := testEngine(t, space)
+	e2 := testEngine(t, space)
+	for i := 0; i < e1.Grid().Size(); i++ {
+		a, b := e1.Evaluate(i), e2.Evaluate(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("point %d diverged across engines:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestEvaluateScoresAreSane(t *testing.T) {
+	e := testEngine(t, Space{})
+	res := e.Evaluate(0)
+	if res.Err != "" {
+		t.Fatalf("base point failed: %s", res.Err)
+	}
+	if res.LatencyNs <= 0 {
+		t.Fatalf("latency %d, want positive", res.LatencyNs)
+	}
+	if res.NeuralNs <= 0 || res.SymbolicNs <= 0 {
+		t.Fatalf("phase times %d/%d, want both positive", res.NeuralNs, res.SymbolicNs)
+	}
+	if res.SymbolicShare <= 0 || res.SymbolicShare >= 1 {
+		t.Fatalf("symbolic share %v, want in (0,1)", res.SymbolicShare)
+	}
+	if res.Balance <= 0 || res.Balance > 1 {
+		t.Fatalf("balance %v, want in (0,1]", res.Balance)
+	}
+	if res.AttainPct <= 0 || res.AttainPct > 100 {
+		t.Fatalf("attainment %v, want in (0,100]", res.AttainPct)
+	}
+	if res.L1HitPct < 0 || res.L1HitPct > 100 || res.L2HitPct < 0 || res.L2HitPct > 100 {
+		t.Fatalf("hit rates %v/%v out of range", res.L1HitPct, res.L2HitPct)
+	}
+	if res.EnergyJ <= 0 || res.Cost <= 0 {
+		t.Fatalf("energy %v / cost %v, want positive", res.EnergyJ, res.Cost)
+	}
+}
+
+// TestEvaluateMonotonicity pins the directional physics of the model:
+// more bandwidth and more compute never slow a point down, and a bigger
+// chip always costs more.
+func TestEvaluateMonotonicity(t *testing.T) {
+	e := testEngine(t, Space{
+		PeakGFLOPs: Axis{Values: []float64{2000, 8000}},
+		MemBWGBs:   Axis{Values: []float64{100, 600}},
+	})
+	// Row-major: index = 2*iPeak + iBW.
+	get := func(i int) PointResult {
+		r := e.Evaluate(i)
+		if r.Err != "" {
+			t.Fatalf("point %d failed: %s", i, r.Err)
+		}
+		return r
+	}
+	slowSmall, fastSmall := get(0), get(1) // 2000 GFLOPs x {100, 600} GB/s
+	slowBig, fastBig := get(2), get(3)     // 8000 GFLOPs x {100, 600} GB/s
+	if fastSmall.LatencyNs > slowSmall.LatencyNs || fastBig.LatencyNs > slowBig.LatencyNs {
+		t.Fatalf("more DRAM bandwidth slowed the point down")
+	}
+	if slowBig.LatencyNs > slowSmall.LatencyNs || fastBig.LatencyNs > fastSmall.LatencyNs {
+		t.Fatalf("more compute slowed the point down")
+	}
+	if fastBig.Cost <= slowSmall.Cost {
+		t.Fatalf("bigger chip (cost %v) should cost more than smaller (%v)", fastBig.Cost, slowSmall.Cost)
+	}
+}
+
+// TestEvaluateCacheKnobsMatter pins that cache geometry feeds the latency
+// model: a tiny L1+L2 must not beat a large one, all else equal.
+func TestEvaluateCacheKnobsMatter(t *testing.T) {
+	e := testEngine(t, Space{
+		L1KB: Axis{Values: []float64{4, 128}},
+		L2KB: Axis{Values: []float64{64, 8192}},
+	})
+	tiny, big := e.Evaluate(0), e.Evaluate(3)
+	if tiny.Err != "" || big.Err != "" {
+		t.Fatalf("points failed: %q %q", tiny.Err, big.Err)
+	}
+	if big.LatencyNs > tiny.LatencyNs {
+		t.Fatalf("bigger caches (lat %d) slower than tiny ones (lat %d)", big.LatencyNs, tiny.LatencyNs)
+	}
+	if big.L2HitPct <= tiny.L2HitPct {
+		t.Fatalf("bigger L2 hit rate %v should exceed tiny %v", big.L2HitPct, tiny.L2HitPct)
+	}
+}
+
+func TestEvaluateDegeneratePointCarriesError(t *testing.T) {
+	e := testEngine(t, Space{MemBWGBs: Axis{Values: []float64{0, 616}}})
+	res := e.Evaluate(0)
+	if res.Err == "" {
+		t.Fatal("zero-bandwidth point should carry a diagnostic error")
+	}
+	if res.LatencyNs != 0 {
+		t.Fatalf("failed point should carry no scores, got latency %d", res.LatencyNs)
+	}
+	if ok := e.Evaluate(1); ok.Err != "" {
+		t.Fatalf("valid sibling point failed: %s", ok.Err)
+	}
+}
+
+func TestProfileMemoization(t *testing.T) {
+	e := testEngine(t, Space{PeakGFLOPs: Axis{Min: 1000, Max: 16000, Steps: 8}})
+	for i := 0; i < e.Grid().Size(); i++ {
+		e.Evaluate(i)
+	}
+	// Every point shares the base cache geometry: exactly one profile.
+	if n := len(e.profiles); n != 1 {
+		t.Fatalf("%d cache profiles simulated for a compute-only sweep, want 1", n)
+	}
+}
+
+func TestEngineConcurrentEvaluate(t *testing.T) {
+	e := testEngine(t, Space{
+		PeakGFLOPs: Axis{Values: []float64{2000, 8000}},
+		L1KB:       Axis{Values: []float64{32, 64, 128}},
+	})
+	want := make([]PointResult, e.Grid().Size())
+	for i := range want {
+		want[i] = testEngine(t, Space{
+			PeakGFLOPs: Axis{Values: []float64{2000, 8000}},
+			L1KB:       Axis{Values: []float64{32, 64, 128}},
+		}).Evaluate(i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < e.Grid().Size(); i++ {
+				if got := e.Evaluate(i); !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("concurrent Evaluate(%d) diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepShardingPartition(t *testing.T) {
+	space := Space{
+		PeakGFLOPs: Axis{Values: []float64{1000, 2000, 4000}},
+		MemBWGBs:   Axis{Values: []float64{100, 300, 900}},
+		L1KB:       Axis{Values: []float64{32, 128}},
+	}
+	e := testEngine(t, space)
+	size := e.Grid().Size()
+
+	full, err := e.Sweep(context.Background(), 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Evaluated != size || full.Failed != 0 {
+		t.Fatalf("full sweep evaluated %d (failed %d), want %d/0", full.Evaluated, full.Failed, size)
+	}
+	if full.PointsPerSec <= 0 || full.ElapsedNs <= 0 {
+		t.Fatalf("throughput not recorded: %+v", full)
+	}
+
+	const shards = 3
+	seen := make(map[int]bool)
+	var fronts [][]PointResult
+	for s := 0; s < shards; s++ {
+		var pts []PointResult
+		sum, err := e.Sweep(context.Background(), s, shards, func(p PointResult) error {
+			pts = append(pts, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Index%shards != s {
+				t.Fatalf("shard %d emitted index %d", s, p.Index)
+			}
+			if seen[p.Index] {
+				t.Fatalf("index %d emitted by two shards", p.Index)
+			}
+			seen[p.Index] = true
+		}
+		fronts = append(fronts, sum.Front)
+	}
+	if len(seen) != size {
+		t.Fatalf("shards covered %d indices, want %d", len(seen), size)
+	}
+
+	// The merged shard fronts equal the single-node front exactly.
+	merged := MergeFronts(fronts...)
+	if !reflect.DeepEqual(merged, full.Front) {
+		t.Fatalf("merged shard fronts != full front:\n%+v\n%+v", merged, full.Front)
+	}
+}
+
+func TestSweepShardIndexValidation(t *testing.T) {
+	e := testEngine(t, Space{})
+	if _, err := e.Sweep(context.Background(), 2, 2, nil); err == nil {
+		t.Fatal("shard index == shard count should fail")
+	}
+	if _, err := e.Sweep(context.Background(), -1, 2, nil); err == nil {
+		t.Fatal("negative shard index should fail")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	e := testEngine(t, DefaultSpace())
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err := e.Sweep(ctx, 0, 1, func(PointResult) error {
+		n++
+		if n == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n > 6 {
+		t.Fatalf("sweep kept evaluating after cancel: %d points", n)
+	}
+}
+
+func TestSweepEmitErrorAborts(t *testing.T) {
+	e := testEngine(t, DefaultSpace())
+	boom := errors.New("client went away")
+	_, err := e.Sweep(context.Background(), 0, 1, func(PointResult) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+}
+
+func TestSweepCountsFailedPoints(t *testing.T) {
+	e := testEngine(t, Space{MemBWGBs: Axis{Values: []float64{0, 300, 900}}})
+	sum, err := e.Sweep(context.Background(), 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Evaluated != 3 || sum.Failed != 1 {
+		t.Fatalf("evaluated %d failed %d, want 3/1", sum.Evaluated, sum.Failed)
+	}
+	for _, p := range sum.Front {
+		if p.Err != "" {
+			t.Fatalf("failed point leaked into front: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates reports whether a Pareto-dominates b under the sweep's two
+// minimized objectives, projected latency and area cost: no worse in
+// both, strictly better in at least one. Points with identical
+// (latency, cost) do not dominate each other — both survive to the front.
+func Dominates(a, b *PointResult) bool {
+	if a.LatencyNs > b.LatencyNs || a.Cost > b.Cost {
+		return false
+	}
+	return a.LatencyNs < b.LatencyNs || a.Cost < b.Cost
+}
+
+// ParetoFront returns the non-dominated subset of points under
+// (LatencyNs, Cost) minimization, sorted by ascending grid index. Failed
+// points (Err set) are excluded. The computation is a deterministic
+// function of the point set: sort by latency then cost, sweep keeping
+// strict cost improvements, keep equal-(latency, cost) duplicates.
+//
+// O(n log n), so it stays cheap even for very large sweeps.
+func ParetoFront(points []PointResult) []PointResult {
+	valid := make([]PointResult, 0, len(points))
+	for _, p := range points {
+		if p.Err == "" {
+			valid = append(valid, p)
+		}
+	}
+	if len(valid) == 0 {
+		return []PointResult{}
+	}
+	sort.Slice(valid, func(i, j int) bool {
+		if valid[i].LatencyNs != valid[j].LatencyNs {
+			return valid[i].LatencyNs < valid[j].LatencyNs
+		}
+		if valid[i].Cost != valid[j].Cost {
+			return valid[i].Cost < valid[j].Cost
+		}
+		return valid[i].Index < valid[j].Index
+	})
+	front := make([]PointResult, 0, 8)
+	// Within an equal-latency group only the cost minima can survive (a
+	// costlier same-latency point is dominated by them); across groups a
+	// group's minima survive iff they strictly undercut every lower-latency
+	// point's cost (bestCost). Equal-(latency, cost) duplicates all pass
+	// both tests and all survive.
+	bestCost := math.Inf(1)
+	for i := 0; i < len(valid); {
+		j := i
+		for j < len(valid) && valid[j].LatencyNs == valid[i].LatencyNs {
+			j++
+		}
+		if groupMin := valid[i].Cost; groupMin < bestCost {
+			for k := i; k < j && valid[k].Cost == groupMin; k++ {
+				front = append(front, valid[k])
+			}
+			bestCost = groupMin
+		}
+		i = j
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Index < front[j].Index })
+	return front
+}
+
+// MergeFronts merges per-shard partial fronts into the global front. The
+// merge is exact, not approximate: a globally non-dominated point is
+// necessarily non-dominated within its own shard (its shard's points are
+// a subset of the global comparisons), so it appears in its partial front
+// and survives the re-screen; conversely any globally dominated point in
+// the union is eliminated by a dominator — if p's dominator q was itself
+// pruned inside q's shard, q's own dominator r dominates p transitively,
+// and walking that finite chain ends at a shard-front member. Hence
+// merging partial fronts loses nothing and admits nothing: the result
+// equals the front of the full point set, byte for byte.
+func MergeFronts(fronts ...[]PointResult) []PointResult {
+	var union []PointResult
+	for _, f := range fronts {
+		union = append(union, f...)
+	}
+	return ParetoFront(union)
+}

@@ -1,0 +1,135 @@
+package dse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func pt(index int, lat int64, cost float64) PointResult {
+	return PointResult{Index: index, LatencyNs: lat, Cost: cost}
+}
+
+func TestDominates(t *testing.T) {
+	a, b := pt(0, 10, 5), pt(1, 20, 7)
+	if !Dominates(&a, &b) {
+		t.Fatal("strictly better in both should dominate")
+	}
+	if Dominates(&b, &a) {
+		t.Fatal("dominance is asymmetric")
+	}
+	c := pt(2, 10, 5)
+	if Dominates(&a, &c) || Dominates(&c, &a) {
+		t.Fatal("equal points must not dominate each other")
+	}
+	d := pt(3, 10, 7)
+	if !Dominates(&a, &d) {
+		t.Fatal("equal latency, better cost should dominate")
+	}
+	e := pt(4, 5, 50)
+	if Dominates(&a, &e) || Dominates(&e, &a) {
+		t.Fatal("trade-off points are incomparable")
+	}
+}
+
+// bruteFront is the O(n^2) reference implementation.
+func bruteFront(points []PointResult) []PointResult {
+	var front []PointResult
+	for i := range points {
+		if points[i].Err != "" {
+			continue
+		}
+		dominated := false
+		for j := range points {
+			if j != i && points[j].Err == "" && Dominates(&points[j], &points[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, points[i])
+		}
+	}
+	if front == nil {
+		return []PointResult{}
+	}
+	return front
+}
+
+func TestParetoFrontMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		points := make([]PointResult, n)
+		for i := range points {
+			// Small value ranges force plenty of exact ties.
+			points[i] = pt(i, int64(rng.Intn(8)), float64(rng.Intn(8)))
+			if rng.Intn(10) == 0 {
+				points[i].Err = "degenerate"
+			}
+		}
+		got := ParetoFront(points)
+		want := bruteFront(points)
+		// bruteFront preserves input order == index order, matching
+		// ParetoFront's index sort.
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: front mismatch\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	if f := ParetoFront(nil); f == nil || len(f) != 0 {
+		t.Fatalf("empty input: got %#v, want empty non-nil front", f)
+	}
+	if f := ParetoFront([]PointResult{{Index: 0, Err: "bad"}}); len(f) != 0 {
+		t.Fatalf("all-failed input: got %+v, want empty front", f)
+	}
+
+	// Equal-(latency, cost) duplicates all survive, in index order.
+	dup := []PointResult{pt(3, 10, 5), pt(1, 10, 5), pt(2, 99, 99)}
+	f := ParetoFront(dup)
+	if len(f) != 2 || f[0].Index != 1 || f[1].Index != 3 {
+		t.Fatalf("duplicate survivors wrong: %+v", f)
+	}
+
+	// A strictly improving chain keeps only the last point... plus the
+	// incomparable cheap one.
+	chain := []PointResult{pt(0, 30, 3), pt(1, 20, 2), pt(2, 10, 1), pt(3, 40, 0.5)}
+	f = ParetoFront(chain)
+	if len(f) != 2 || f[0].Index != 2 || f[1].Index != 3 {
+		t.Fatalf("chain front wrong: %+v", f)
+	}
+
+	// Input order never matters.
+	shuffled := []PointResult{chain[3], chain[1], chain[0], chain[2]}
+	if !reflect.DeepEqual(ParetoFront(shuffled), f) {
+		t.Fatal("front depends on input order")
+	}
+}
+
+func TestMergeFrontsEqualsGlobalFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(100)
+		points := make([]PointResult, n)
+		for i := range points {
+			points[i] = pt(i, int64(rng.Intn(12)), float64(rng.Intn(12)))
+		}
+		global := ParetoFront(points)
+		for _, shards := range []int{1, 2, 3, 5} {
+			parts := make([][]PointResult, shards)
+			for i := range points {
+				s := i % shards
+				parts[s] = append(parts[s], points[i])
+			}
+			fronts := make([][]PointResult, shards)
+			for s := range parts {
+				fronts[s] = ParetoFront(parts[s])
+			}
+			if merged := MergeFronts(fronts...); !reflect.DeepEqual(merged, global) {
+				t.Fatalf("trial %d shards %d: merged front != global front", trial, shards)
+			}
+		}
+	}
+}

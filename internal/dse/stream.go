@@ -1,0 +1,60 @@
+package dse
+
+// The /v1/explore wire format is NDJSON: one Chunk per line, streamed as
+// points are scored. A sweep response is
+//
+//	{"type":"meta", "meta":{...}}        — once, before any point
+//	{"type":"point", "point":{...}}      — once per evaluated grid point
+//	{"type":"summary", "summary":{...}}  — once, closing the stream
+//
+// Point chunks are forwarded verbatim by the routing tier (values are
+// deterministic, so a retried shard's duplicate points are dropped by
+// index); summary chunks are consumed by the router, which merges the
+// partial fronts and emits its own closing summary.
+
+// ChunkMeta opens a sweep stream: what is being swept and how it is
+// sharded. Shards, set only by the router, is the number of per-replica
+// shard streams the sweep was fanned out into.
+type ChunkMeta struct {
+	Workload   string `json:"workload"`
+	Device     string `json:"device"`
+	GridSize   int    `json:"grid_size"`
+	ShardIndex int    `json:"shard_index"`
+	ShardCount int    `json:"shard_count"`
+	Shards     int    `json:"shards,omitempty"`
+}
+
+// Chunk is one NDJSON line of an explore stream. Exactly one of Meta,
+// Point, Summary is set, per Type ("meta", "point", "summary").
+type Chunk struct {
+	Type    string       `json:"type"`
+	Meta    *ChunkMeta   `json:"meta,omitempty"`
+	Point   *PointResult `json:"point,omitempty"`
+	Summary *Summary     `json:"summary,omitempty"`
+}
+
+// Artifact is the BENCH_explore.json schema: the sweep's headline numbers
+// plus the trace-once/project-many payoff measured against full
+// re-characterization. Written by nsbench -explore (in-process, with the
+// re-characterization baseline) and cmd/nsexplore (over HTTP).
+type Artifact struct {
+	Workload     string        `json:"workload"`
+	Device       string        `json:"device"`
+	GridSize     int           `json:"grid_size"`
+	Evaluated    int           `json:"evaluated"`
+	Failed       int           `json:"failed"`
+	ElapsedNs    int64         `json:"elapsed_ns"`
+	PointsPerSec float64       `json:"points_per_sec"`
+	FrontSize    int           `json:"front_size"`
+	Front        []PointResult `json:"front"`
+
+	// CharacterizeNs is the measured wall time of one full
+	// characterization of the same workload; RecharPointsPerSec the sweep
+	// rate it implies if every point re-ran the workload; and
+	// ReprojectionSpeedup = PointsPerSec / RecharPointsPerSec — the
+	// trace-once/project-many advantage (acceptance floor: 50x). Zero in
+	// artifacts written from a plain HTTP sweep, which has no baseline.
+	CharacterizeNs      int64   `json:"characterize_ns,omitempty"`
+	RecharPointsPerSec  float64 `json:"rechar_points_per_sec,omitempty"`
+	ReprojectionSpeedup float64 `json:"reprojection_speedup,omitempty"`
+}

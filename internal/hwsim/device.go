@@ -15,6 +15,7 @@ package hwsim
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/neurosym/nsbench/internal/roofline"
 )
@@ -83,6 +84,57 @@ var (
 		EffGEMM: 0.75, EffEltwise: 0.95, EffGather: 0.60, EffOther: 0.50,
 	}
 )
+
+// Validate checks that the device describes a physically meaningful
+// platform: strictly positive compute ceiling, memory bandwidths and cache
+// geometry, non-negative overheads, and efficiency factors in (0, 1].
+// Design-space sweeps synthesize devices from parameter grids, and a grid
+// corner can easily degenerate (zero bandwidth, negative FLOP/s ceiling);
+// such configs must fail here with a diagnostic error instead of
+// propagating Inf/NaN through every projected latency downstream.
+func (d Device) Validate() error {
+	pos := func(field string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("hwsim: device %q: %s must be positive and finite, got %v", d.Name, field, v)
+		}
+		return nil
+	}
+	nonNeg := func(field string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("hwsim: device %q: %s must be non-negative and finite, got %v", d.Name, field, v)
+		}
+		return nil
+	}
+	checks := []error{
+		pos("PeakFP32GFLOPs", d.PeakFP32GFLOPs),
+		pos("MemBWGBs", d.MemBWGBs),
+		pos("L1KB", float64(d.L1KB)),
+		pos("L2KB", float64(d.L2KB)),
+		pos("LineBytes", float64(d.LineBytes)),
+		pos("L1BWGBs", d.L1BWGBs),
+		pos("L2BWGBs", d.L2BWGBs),
+		nonNeg("LaunchUs", d.LaunchUs),
+		nonNeg("H2DGBs", d.H2DGBs),
+		nonNeg("TDPWatts", d.TDPWatts),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	for _, eff := range []struct {
+		field string
+		v     float64
+	}{
+		{"EffGEMM", d.EffGEMM}, {"EffEltwise", d.EffEltwise},
+		{"EffGather", d.EffGather}, {"EffOther", d.EffOther},
+	} {
+		if math.IsNaN(eff.v) || eff.v <= 0 || eff.v > 1 {
+			return fmt.Errorf("hwsim: device %q: %s must be in (0, 1], got %v", d.Name, eff.field, eff.v)
+		}
+	}
+	return nil
+}
 
 // Roofline returns the device's single-ceiling roofline model (peak FP32
 // compute, peak DRAM bandwidth) — the Fig. 3c axes the measured kernel

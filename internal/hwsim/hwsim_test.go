@@ -1,6 +1,8 @@
 package hwsim
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -244,5 +246,68 @@ func TestDeviceRoofline(t *testing.T) {
 	}
 	if p.PerfGFLOPs != 1 {
 		t.Fatalf("PerfGFLOPs = %v, want 1", p.PerfGFLOPs)
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	for _, d := range AllDevices() {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("modeled device %s fails validation: %v", d.Name, err)
+		}
+	}
+	if err := NSAccel.Validate(); err != nil {
+		t.Fatalf("NSAccel fails validation: %v", err)
+	}
+
+	base := RTX2080Ti
+	cases := []struct {
+		name   string
+		mutate func(*Device)
+		want   string // substring of the diagnostic
+	}{
+		{"zero peak", func(d *Device) { d.PeakFP32GFLOPs = 0 }, "PeakFP32GFLOPs"},
+		{"negative peak", func(d *Device) { d.PeakFP32GFLOPs = -1 }, "PeakFP32GFLOPs"},
+		{"zero bw", func(d *Device) { d.MemBWGBs = 0 }, "MemBWGBs"},
+		{"negative bw", func(d *Device) { d.MemBWGBs = -500 }, "MemBWGBs"},
+		{"nan bw", func(d *Device) { d.MemBWGBs = math.NaN() }, "MemBWGBs"},
+		{"inf peak", func(d *Device) { d.PeakFP32GFLOPs = math.Inf(1) }, "PeakFP32GFLOPs"},
+		{"zero l1", func(d *Device) { d.L1KB = 0 }, "L1KB"},
+		{"negative l2", func(d *Device) { d.L2KB = -64 }, "L2KB"},
+		{"zero line", func(d *Device) { d.LineBytes = 0 }, "LineBytes"},
+		{"zero l1bw", func(d *Device) { d.L1BWGBs = 0 }, "L1BWGBs"},
+		{"zero l2bw", func(d *Device) { d.L2BWGBs = 0 }, "L2BWGBs"},
+		{"negative launch", func(d *Device) { d.LaunchUs = -1 }, "LaunchUs"},
+		{"negative h2d", func(d *Device) { d.H2DGBs = -1 }, "H2DGBs"},
+		{"negative tdp", func(d *Device) { d.TDPWatts = -1 }, "TDPWatts"},
+		{"zero eff", func(d *Device) { d.EffGEMM = 0 }, "EffGEMM"},
+		{"eff above one", func(d *Device) { d.EffEltwise = 1.5 }, "EffEltwise"},
+		{"negative eff", func(d *Device) { d.EffGather = -0.1 }, "EffGather"},
+		{"nan eff", func(d *Device) { d.EffOther = math.NaN() }, "EffOther"},
+	}
+	for _, tc := range cases {
+		d := base
+		tc.mutate(&d)
+		err := d.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate() = nil, want error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: diagnostic %q does not name field %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpeedupZeroDurationGuards(t *testing.T) {
+	a := Projection{Total: time.Second}
+	b := Projection{Total: 2 * time.Second}
+	if got := a.Speedup(b); got != 2 {
+		t.Fatalf("Speedup = %v, want 2", got)
+	}
+	zero := Projection{}
+	// Neither direction may produce Inf or NaN from a degenerate projection.
+	for _, got := range []float64{zero.Speedup(b), b.Speedup(zero), zero.Speedup(zero)} {
+		if got != 0 {
+			t.Fatalf("zero-duration Speedup = %v, want sentinel 0", got)
+		}
 	}
 }

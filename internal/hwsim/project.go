@@ -79,9 +79,13 @@ func (p Projection) PhaseShare(ph trace.Phase) float64 {
 }
 
 // Speedup returns how much faster this projection is than other
-// (>1 means this device is faster).
+// (>1 means this device is faster). A zero-duration receiver — an empty
+// trace, or a degenerate synthesized device that projected no time —
+// yields 0 rather than +Inf: sweep grids hit such configs routinely, and
+// a sentinel 0 keeps ratio columns finite and sortable. A zero-duration
+// other likewise yields 0 (there is nothing to be faster than).
 func (p Projection) Speedup(other Projection) float64 {
-	if p.Total == 0 {
+	if p.Total == 0 || other.Total == 0 {
 		return 0
 	}
 	return float64(other.Total) / float64(p.Total)

@@ -92,6 +92,13 @@ type Config struct {
 	// group flushes immediately instead of waiting out the window. 0
 	// selects 8. Only meaningful with BatchWindow > 0.
 	BatchMax int
+	// ExploreMaxPoints caps the grid size a single /v1/explore sweep may
+	// request; 0 selects 65536. Larger grids are rejected with 400 — split
+	// them across shards (the cluster router does this automatically).
+	ExploreMaxPoints int
+	// ExploreConcurrency bounds concurrently streaming sweeps; 0 selects 2.
+	// At the limit new sweeps answer 429 + Retry-After.
+	ExploreConcurrency int
 }
 
 func (c *Config) defaults() {
@@ -112,6 +119,12 @@ func (c *Config) defaults() {
 	}
 	if c.BatchMax == 0 {
 		c.BatchMax = 8
+	}
+	if c.ExploreMaxPoints == 0 {
+		c.ExploreMaxPoints = 1 << 16
+	}
+	if c.ExploreConcurrency == 0 {
+		c.ExploreConcurrency = 2
 	}
 }
 
@@ -217,6 +230,14 @@ type Server struct {
 	workloadsJSON []byte
 	workloadsErr  error
 
+	// Design-space exploration (/v1/explore): the trace cache behind
+	// trace-once/project-many, a semaphore bounding concurrent sweeps, and
+	// the ns_explore_* instruments.
+	traceMu    sync.Mutex
+	traces     map[string]*traceEntry
+	exploreSem chan struct{}
+	xm         exploreMetrics
+
 	reg      *metrics.Registry
 	st       stats
 	httpReqs *metrics.CounterVec   // nsserve_http_requests_total{endpoint,code}
@@ -268,9 +289,12 @@ func New(cfg Config) (*Server, error) {
 			"HTTP requests by endpoint and status code.", "endpoint", "code"),
 		httpLat: reg.HistogramVec("nsserve_http_request_seconds",
 			"HTTP request latency by endpoint.", metrics.LatencyBuckets(), "endpoint"),
-		logger:   cfg.Logger,
-		reqNonce: newNonce(),
+		logger:     cfg.Logger,
+		reqNonce:   newNonce(),
+		traces:     make(map[string]*traceEntry),
+		exploreSem: make(chan struct{}, cfg.ExploreConcurrency),
 	}
+	s.xm = newExploreMetrics(reg)
 	if cfg.RecorderSize > 0 {
 		s.recorder = trace.NewRecorder(cfg.RecorderSize)
 	}
@@ -307,6 +331,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/explore", s.instrument("/v1/explore", s.handleExplore))
 	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
@@ -381,6 +406,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming endpoints
+// (/v1/explore) can push NDJSON chunks through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // allowMethods gates r to the listed methods. On a mismatch it answers

@@ -38,6 +38,12 @@ type stats struct {
 	batchItems      *metrics.Counter
 	occupancy       *metrics.Histogram
 	coalesceFlushes *metrics.CounterVec
+
+	// Design-space exploration (/v1/explore): sweeps completed and grid
+	// points evaluated. These mirror the ns_explore_* registry metrics but
+	// live under the nsserve_ namespace for the /v1/stats JSON view.
+	sweepsRun       *metrics.Counter
+	pointsEvaluated *metrics.Counter
 }
 
 // newStats registers the serving counters in reg.
@@ -62,6 +68,8 @@ func newStats(reg *metrics.Registry) stats {
 			[]float64{1, 2, 4, 8, 16, 32}),
 		coalesceFlushes: reg.CounterVec("nsserve_coalesce_flushes_total",
 			"Batch group flushes by outcome (window expired, group full, drain on close).", "outcome"),
+		sweepsRun:       reg.Counter("nsserve_sweeps_total", "Design-space sweeps completed by /v1/explore."),
+		pointsEvaluated: reg.Counter("nsserve_sweep_points_total", "Design-space grid points evaluated by /v1/explore."),
 	}
 }
 
@@ -98,6 +106,11 @@ type Snapshot struct {
 	// fields so existing consumers see an unchanged prefix.
 	BatchesRun   int64   `json:"batches_run"`
 	AvgOccupancy float64 `json:"avg_occupancy"`
+	// SweepsRun and PointsEvaluated count /v1/explore activity. Appended
+	// after the batching fields so existing consumers see an unchanged
+	// prefix (the append-only evolution rule TestStatsJSONShape pins).
+	SweepsRun       int64 `json:"sweeps_run"`
+	PointsEvaluated int64 `json:"points_evaluated"`
 }
 
 // snapshot reads every counter once. Counters are read individually, so a
@@ -129,5 +142,7 @@ func (s *stats) snapshot() Snapshot {
 	if out.BatchesRun > 0 {
 		out.AvgOccupancy = float64(s.batchItems.Value()) / float64(out.BatchesRun)
 	}
+	out.SweepsRun = int64(s.sweepsRun.Value())
+	out.PointsEvaluated = int64(s.pointsEvaluated.Value())
 	return out
 }
