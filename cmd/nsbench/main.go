@@ -19,6 +19,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/logging"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/trace"
@@ -36,8 +37,12 @@ func main() {
 	kernelBench := flag.String("kernel-bench", "", "benchmark naive vs tiled kernels over the workload operator shapes and write the roofline table (BENCH_kernels.json format) to this file instead of running -experiment")
 	explore := flag.String("explore", "", "run the design-space exploration smoke instead of -experiment: characterize -explore-workload once, sweep the default 256-point config space over the cached trace, and write the BENCH_explore.json artifact to this file")
 	exploreWorkload := flag.String("explore-workload", "NVSA", "workload the -explore sweep characterizes and projects")
+	logFormat := flag.String("log-format", logging.FormatText, "log output format: text or json")
 	flag.Parse()
 
+	if _, err := logging.Setup(os.Stderr, *logFormat, false); err != nil {
+		fatal(err)
+	}
 	if *kernelBench != "" {
 		if err := runKernelBench(*kernelBench); err != nil {
 			fatal(err)
@@ -71,6 +76,7 @@ func main() {
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()
 		metrics.NewGoCollector(reg)
+		metrics.RegisterBuildInfo(reg)
 	}
 	if err := run(*experiment, dev, eng, reg, *chromeTrace); err != nil {
 		fatal(err)

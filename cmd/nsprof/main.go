@@ -17,6 +17,7 @@ import (
 
 	"github.com/neurosym/nsbench/internal/core"
 	"github.com/neurosym/nsbench/internal/hwsim"
+	"github.com/neurosym/nsbench/internal/logging"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/trace"
@@ -33,8 +34,12 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 	kernelName := flag.String("kernel", "auto", "GEMM/conv kernel implementation: auto (measured dispatch table), naive, or tiled")
 	metricsOut := flag.String("metrics", "", "dump runtime/pool/operator metrics (Prometheus text) to this file at exit (\"-\" = stderr)")
+	logFormat := flag.String("log-format", logging.FormatText, "log output format: text or json")
 	flag.Parse()
 
+	if _, err := logging.Setup(os.Stderr, *logFormat, false); err != nil {
+		fatal(err)
+	}
 	dev, err := hwsim.DeviceByName(*device)
 	if err != nil {
 		fatal(err)
@@ -53,6 +58,7 @@ func main() {
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()
 		metrics.NewGoCollector(reg)
+		metrics.RegisterBuildInfo(reg)
 		ops.RegisterPoolMetrics(reg, pool)
 		pool.SetObserver(ops.NewOpObserver(reg))
 	}

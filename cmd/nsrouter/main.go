@@ -22,7 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"github.com/neurosym/nsbench/internal/cluster"
+	"github.com/neurosym/nsbench/internal/logging"
 )
 
 func main() {
@@ -45,7 +45,9 @@ func main() {
 	ejectAfter := flag.Int("eject-after", 0, "consecutive failures before ejection (0 = default 3)")
 	readmitAfter := flag.Int("readmit-after", 0, "consecutive probation successes before readmission (0 = default 2)")
 	upstreamTimeout := flag.Duration("timeout", 0, "per-attempt upstream timeout (0 = default 90s)")
+	nodeName := flag.String("node-name", "", "router identity in stitched traces (default nsrouter-<hostname>-<pid>)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	logFormat := flag.String("log-format", logging.FormatText, "log output format: text or json")
 	flag.Parse()
 
 	if *replicas == "" {
@@ -58,9 +60,9 @@ func main() {
 		}
 	}
 
-	var logger *slog.Logger
-	if !*quiet {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := logging.Setup(os.Stderr, *logFormat, *quiet)
+	if err != nil {
+		fatal(err)
 	}
 	rt, err := cluster.New(cluster.Config{
 		Replicas:        urls,
@@ -75,7 +77,8 @@ func main() {
 			EjectAfter:   *ejectAfter,
 			ReadmitAfter: *readmitAfter,
 		},
-		Logger: logger,
+		Logger:   logger,
+		NodeName: *nodeName,
 	})
 	if err != nil {
 		fatal(err)

@@ -40,13 +40,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/neurosym/nsbench/internal/logging"
 	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/serve"
 )
@@ -67,12 +67,14 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max requests coalesced into one batch (0 = default 8)")
 	exploreMaxPoints := flag.Int("explore-max-points", 0, "max grid points per /v1/explore sweep (0 = default 65536)")
 	exploreConcurrency := flag.Int("explore-concurrency", 0, "concurrent /v1/explore sweeps before 429 (0 = default 2)")
+	nodeName := flag.String("node-name", "", "replica identity in stitched traces (default <hostname>-<pid>)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	logFormat := flag.String("log-format", logging.FormatText, "log output format: text or json")
 	flag.Parse()
 
-	var logger *slog.Logger
-	if !*quiet {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := logging.Setup(os.Stderr, *logFormat, *quiet)
+	if err != nil {
+		fatal(err)
 	}
 	srv, err := serve.New(serve.Config{
 		Engine:             ops.Config{Backend: *backendName, Workers: *workers},
@@ -87,6 +89,7 @@ func main() {
 		BatchMax:           *batchMax,
 		ExploreMaxPoints:   *exploreMaxPoints,
 		ExploreConcurrency: *exploreConcurrency,
+		NodeName:           *nodeName,
 	})
 	if err != nil {
 		fatal(err)

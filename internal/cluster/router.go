@@ -46,6 +46,7 @@ import (
 	"math"
 	mrand "math/rand"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +55,8 @@ import (
 
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/serve"
+	"github.com/neurosym/nsbench/internal/slo"
+	"github.com/neurosym/nsbench/internal/trace"
 )
 
 // Config parameterizes a Router.
@@ -94,6 +97,26 @@ type Config struct {
 	// Logger, when non-nil, receives one line per routed request plus
 	// ejection/readmission events. Nil disables logging.
 	Logger *slog.Logger
+	// RecorderSize is the router flight-recorder capacity in spans; 0
+	// selects the trace package default, negative disables the recorder
+	// (and with it the stitched /v1/trace?request_id= view's router rows).
+	RecorderSize int
+	// NodeName identifies the router process in stitched traces (its pid
+	// label). Empty selects "nsrouter-<hostname>-<pid>".
+	NodeName string
+	// SLO parameterizes burn-rate windows and the budget period; the zero
+	// value selects the slo package defaults.
+	SLO slo.Config
+	// SLOAvailabilityTarget is the non-5xx success-ratio objective over
+	// all routed responses; 0 selects 0.999.
+	SLOAvailabilityTarget float64
+	// SLOLatencyTarget is the fraction of routed /v1/characterize
+	// responses that must finish within SLOLatencyThreshold; 0 selects
+	// 0.95.
+	SLOLatencyTarget float64
+	// SLOLatencyThreshold is the routed latency objective's cutoff; 0
+	// selects 500ms (the replica-side default plus routing overhead).
+	SLOLatencyThreshold time.Duration
 }
 
 func (c *Config) defaults() {
@@ -118,6 +141,25 @@ func (c *Config) defaults() {
 	if c.UpstreamTimeout == 0 {
 		c.UpstreamTimeout = 90 * time.Second
 	}
+	if c.RecorderSize == 0 {
+		c.RecorderSize = trace.DefaultRecorderCapacity
+	}
+	if c.NodeName == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "host"
+		}
+		c.NodeName = fmt.Sprintf("nsrouter-%s-%d", host, os.Getpid())
+	}
+	if c.SLOAvailabilityTarget == 0 {
+		c.SLOAvailabilityTarget = 0.999
+	}
+	if c.SLOLatencyTarget == 0 {
+		c.SLOLatencyTarget = 0.95
+	}
+	if c.SLOLatencyThreshold == 0 {
+		c.SLOLatencyThreshold = 500 * time.Millisecond
+	}
 }
 
 // Router shards requests across nsserve replicas. Construct with New,
@@ -125,19 +167,32 @@ func (c *Config) defaults() {
 type Router struct {
 	cfg    Config
 	ring   *Ring
+	nodes  []string // all configured replicas, ring membership aside
 	health *Checker
 	client *http.Client
 	logger *slog.Logger
 
-	reg        *metrics.Registry
-	httpReqs   *metrics.CounterVec   // nsrouter_http_requests_total{endpoint,code}
-	httpLat    *metrics.HistogramVec // nsrouter_http_request_seconds{endpoint}
-	nodeReqs   *metrics.CounterVec   // nsrouter_node_requests_total{node,code}
-	nodeErrs   *metrics.CounterVec   // nsrouter_node_errors_total{node}
-	retries    *metrics.Counter
-	hedgeFired *metrics.Counter
-	hedgeWon   *metrics.Counter
-	attemptLat *metrics.Histogram // successful-attempt latency; arms the hedge timer
+	reg          *metrics.Registry
+	httpReqs     *metrics.CounterVec   // nsrouter_http_requests_total{endpoint,code}
+	httpLat      *metrics.HistogramVec // nsrouter_http_request_seconds{endpoint}
+	nodeReqs     *metrics.CounterVec   // nsrouter_node_requests_total{node,code}
+	nodeErrs     *metrics.CounterVec   // nsrouter_node_errors_total{node}
+	retries      *metrics.Counter
+	hedgeFired   *metrics.Counter
+	hedgeWon     *metrics.Counter
+	hedgeOutcome *metrics.CounterVec // nsrouter_hedge_total{outcome}
+	attemptLat   *metrics.Histogram  // successful-attempt latency; arms the hedge timer
+
+	// recorder is the router's flight recorder: proxy attempts, retry
+	// backoffs, hedge races, and health transitions, as spans keyed by
+	// request ID — the router's slice of a stitched cross-process trace.
+	// nil when Config.RecorderSize is negative.
+	recorder *trace.Recorder
+	// slos tracks the routed availability and latency objectives;
+	// sloGood/sloTotal are the availability feed counted in instrument.
+	slos     *slo.Set
+	sloGood  metrics.Counter
+	sloTotal metrics.Counter
 
 	exploreSweeps *metrics.Counter // ns_explore_sweeps_total (router-level fan-outs)
 	exploreShards *metrics.Counter // ns_explore_shards_total (shard streams completed)
@@ -179,6 +234,9 @@ func New(cfg Config) (*Router, error) {
 			"Hedge attempts launched after the latency-quantile delay."),
 		hedgeWon: reg.Counter("nsrouter_hedges_won_total",
 			"Hedge attempts that answered before the primary."),
+		hedgeOutcome: reg.CounterVec("nsrouter_hedge_total",
+			"Resolved hedge races by outcome: primary won, hedge won, or both failed.",
+			"outcome"),
 		attemptLat: reg.Histogram("nsrouter_attempt_seconds",
 			"Latency of successful upstream attempts (feeds the hedge delay).", metrics.LatencyBuckets()),
 		exploreSweeps: reg.Counter("ns_explore_sweeps_total",
@@ -187,20 +245,28 @@ func New(cfg Config) (*Router, error) {
 			"Sweep shard streams completed by replicas."),
 		reqNonce: newNonce(),
 	}
+	if cfg.RecorderSize > 0 {
+		rt.recorder = trace.NewRecorder(cfg.RecorderSize)
+	}
 	nodes := make([]string, len(cfg.Replicas))
 	for i, rep := range cfg.Replicas {
 		nodes[i] = strings.TrimRight(rep, "/")
 		rt.ring.Add(nodes[i])
 	}
+	rt.nodes = nodes
 	rt.health = NewChecker(cfg.Health, nodes, nil,
 		func(node string) {
 			rt.ring.Remove(node)
+			// Health transitions live under the reserved "_health" ID:
+			// GET /v1/trace?request_id=_health shows ejection history.
+			rt.recordRouterSpan(healthTraceID, "health.eject("+node+")", time.Now())
 			if rt.logger != nil {
 				rt.logger.Warn("replica ejected", "node", node)
 			}
 		},
 		func(node string) {
 			rt.ring.Add(node)
+			rt.recordRouterSpan(healthTraceID, "health.readmit("+node+")", time.Now())
 			if rt.logger != nil {
 				rt.logger.Info("replica readmitted", "node", node)
 			}
@@ -210,17 +276,59 @@ func New(cfg Config) (*Router, error) {
 	reg.GaugeFunc("nsrouter_ejected_nodes", "Replicas ejected by the health checker.",
 		func() float64 { return float64(len(rt.health.Ejected())) })
 	metrics.NewGoCollector(reg)
+	metrics.RegisterBuildInfo(reg)
+	rt.slos = slo.NewSet(cfg.SLO)
+	if err := rt.slos.Add(slo.Objective{
+		Name:        "availability",
+		Description: "Non-5xx responses across all routed endpoints.",
+		Target:      cfg.SLOAvailabilityTarget,
+		Source:      slo.FromCounters(rt.sloGood.Value, rt.sloTotal.Value),
+	}); err != nil {
+		return nil, err
+	}
+	if err := rt.slos.Add(slo.Objective{
+		Name: "characterize_latency",
+		Description: fmt.Sprintf("Routed /v1/characterize responses within %s (histogram-bucket resolution).",
+			cfg.SLOLatencyThreshold),
+		Target: cfg.SLOLatencyTarget,
+		Source: slo.FromHistogram(rt.httpLat.With("/v1/characterize"), cfg.SLOLatencyThreshold.Seconds()),
+	}); err != nil {
+		return nil, err
+	}
+	rt.slos.Register(reg)
+	rt.slos.Start()
 	rt.health.Start()
 	return rt, nil
+}
+
+// healthTraceID is the reserved flight-recorder ID health transitions are
+// recorded under (they belong to no single request).
+const healthTraceID = "_health"
+
+// recordRouterSpan records one routing-layer range (kind "router") from
+// start to now on lane 0 under id. No-op with the recorder disabled.
+func (rt *Router) recordRouterSpan(id, name string, start time.Time) {
+	rt.recordRouterSpanLane(id, name, 0, start)
+}
+
+// recordRouterSpanLane is recordRouterSpan on an explicit worker lane —
+// hedge attempts use lane 1 so the race renders as two parallel tracks.
+func (rt *Router) recordRouterSpanLane(id, name string, lane int, start time.Time) {
+	if rt.recorder == nil {
+		return
+	}
+	rt.recorder.RecordSpan(id, trace.SpanAt(name, "router", lane, start, time.Now()))
 }
 
 // Metrics returns the router's registry.
 func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
 
-// Close stops the health checker and drops idle upstream connections.
+// Close stops the health checker and the SLO sampler and drops idle
+// upstream connections.
 func (rt *Router) Close() {
 	rt.closeOnce.Do(func() {
 		rt.health.Close()
+		rt.slos.Close()
 		rt.client.CloseIdleConnections()
 	})
 }
@@ -234,6 +342,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/workloads", rt.instrument("/v1/workloads", rt.handleWorkloads))
 	mux.HandleFunc("/v1/trace", rt.instrument("/v1/trace", rt.handleTrace))
 	mux.HandleFunc("/v1/stats", rt.instrument("/v1/stats", rt.handleStats))
+	mux.HandleFunc("/v1/slo", rt.instrument("/v1/slo", rt.handleSLO))
 	mux.HandleFunc("/metrics", rt.instrument("/metrics", rt.handleMetrics))
 	mux.HandleFunc("/healthz", rt.instrument("/healthz", rt.handleHealthz))
 	mux.HandleFunc("/readyz", rt.instrument("/readyz", rt.handleReadyz))
@@ -279,6 +388,11 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		dur := time.Since(start)
 		lat.ObserveSeconds(dur.Nanoseconds())
 		rt.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		// Availability SLO feed: every routed response counts, 5xx bad.
+		rt.sloTotal.Inc()
+		if sw.code < 500 {
+			rt.sloGood.Inc()
+		}
 		if rt.logger != nil {
 			rt.logger.Info("route",
 				"method", r.Method, "path", r.URL.Path,
@@ -352,8 +466,13 @@ func retryable(code int) bool {
 // attempt proxies one request to one replica and buffers the response.
 // Outcomes feed the health checker: transport errors and gateway-class
 // statuses extend the node's failure streak (429 does not — backpressure
-// is load, not ill health), anything else resets it.
-func (rt *Router) attempt(ctx context.Context, node, method, path string, body []byte, id string) (*upstream, error) {
+// is load, not ill health), anything else resets it. One exception: an
+// attempt reaped by its own router's cancellation (a lost hedge race, or
+// the client hanging up) is the router's doing, not the replica's — it
+// records a span tagged canceled and feeds no failure streak, so hedging
+// can never eject a healthy node. Every attempt leaves a span in the
+// flight recorder under id on the given worker lane.
+func (rt *Router) attempt(ctx context.Context, node, method, path string, body []byte, id string, lane int) (*upstream, error) {
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -371,17 +490,28 @@ func (rt *Router) attempt(ctx context.Context, node, method, path string, body [
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		if ctx.Err() == context.Canceled {
+			rt.recordRouterSpanLane(id, "proxy("+node+") canceled", lane, start)
+			return nil, fmt.Errorf("%s: %w", node, err)
+		}
 		rt.nodeErrs.With(node).Inc()
 		rt.health.ReportFailure(node)
+		rt.recordRouterSpanLane(id, "proxy("+node+") error", lane, start)
 		return nil, fmt.Errorf("%s: %w", node, err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
+		if ctx.Err() == context.Canceled {
+			rt.recordRouterSpanLane(id, "proxy("+node+") canceled", lane, start)
+			return nil, fmt.Errorf("%s: reading body: %w", node, err)
+		}
 		rt.nodeErrs.With(node).Inc()
 		rt.health.ReportFailure(node)
+		rt.recordRouterSpanLane(id, "proxy("+node+") error", lane, start)
 		return nil, fmt.Errorf("%s: reading body: %w", node, err)
 	}
+	rt.recordRouterSpanLane(id, fmt.Sprintf("proxy(%s) %d", node, resp.StatusCode), lane, start)
 	rt.nodeReqs.With(node, strconv.Itoa(resp.StatusCode)).Inc()
 	switch {
 	case resp.StatusCode == http.StatusBadGateway,
@@ -437,8 +567,10 @@ func (rt *Router) forward(ctx context.Context, key, method, path string, body []
 	for i := 0; i < len(nodes); i++ {
 		if i > 0 {
 			rt.retries.Inc()
+			backoffStart := time.Now()
 			select {
 			case <-time.After(rt.backoff(i)):
+				rt.recordRouterSpan(id, fmt.Sprintf("retry.backoff(%d)", i), backoffStart)
 			case <-ctx.Done():
 				return last, ctx.Err()
 			}
@@ -448,7 +580,7 @@ func (rt *Router) forward(ctx context.Context, key, method, path string, body []
 		if i == 0 && hedge && rt.cfg.Hedge && len(nodes) > 1 {
 			up, err = rt.hedged(ctx, nodes[0], nodes[1], method, path, body, id)
 		} else {
-			up, err = rt.attempt(ctx, nodes[i], method, path, body, id)
+			up, err = rt.attempt(ctx, nodes[i], method, path, body, id, 0)
 		}
 		if err == nil && !retryable(up.code) {
 			return up, nil
@@ -483,13 +615,13 @@ func (rt *Router) hedged(ctx context.Context, primary, backup, method, path stri
 		hedge bool
 	}
 	ch := make(chan res, 2)
-	launch := func(node string, hedge bool) {
+	launch := func(node string, hedge bool, lane int) {
 		go func() {
-			up, err := rt.attempt(ctx, node, method, path, body, id)
+			up, err := rt.attempt(ctx, node, method, path, body, id, lane)
 			ch <- res{up, err, hedge}
 		}()
 	}
-	launch(primary, false)
+	launch(primary, false, 0)
 	timer := time.NewTimer(rt.hedgeDelay())
 	defer timer.Stop()
 	outstanding, launched := 1, false
@@ -502,13 +634,20 @@ func (rt *Router) hedged(ctx context.Context, primary, backup, method, path stri
 				launched = true
 				outstanding++
 				rt.hedgeFired.Inc()
-				launch(backup, true)
+				// Lane 1: the race renders as two parallel tracks in the
+				// stitched timeline, the loser's span tagged canceled.
+				launch(backup, true, 1)
 			}
 		case r := <-ch:
 			outstanding--
 			if r.err == nil && !retryable(r.up.code) {
-				if r.hedge {
-					rt.hedgeWon.Inc()
+				if launched {
+					if r.hedge {
+						rt.hedgeWon.Inc()
+						rt.hedgeOutcome.With("hedge").Inc()
+					} else {
+						rt.hedgeOutcome.With("primary").Inc()
+					}
 				}
 				return r.up, r.err
 			}
@@ -521,6 +660,7 @@ func (rt *Router) hedged(ctx context.Context, primary, backup, method, path stri
 				return r.up, r.err
 			}
 			if outstanding == 0 {
+				rt.hedgeOutcome.With("both_failed").Inc()
 				return fallback.up, fallback.err
 			}
 		}
@@ -559,6 +699,11 @@ func (rt *Router) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
+	// Root span: the routed request's full extent — every per-hop span
+	// (proxy attempts, backoffs) nests inside it on the stitched timeline.
+	routeStart := time.Now()
+	id := requestID(r)
+	defer func() { rt.recordRouterSpan(id, "route.characterize", routeStart) }()
 	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
@@ -587,14 +732,34 @@ func (rt *Router) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	writeUpstream(w, up)
 }
 
+// handleSLO reports the router's objectives: error budgets, windowed
+// burn rates, and alert state.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	b, err := json.Marshal(rt.slos.Report())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
 // handleTrace routes the debug timeline endpoint by the same canonical
 // key as characterize, so the replica that owns (and has cached) a key
-// also serves its traces.
+// also serves its traces. With request_id= it instead assembles the
+// stitched cross-process view of one past request (see trace.go).
 func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet) {
 		return
 	}
 	q := r.URL.Query()
+	if id := q.Get("request_id"); id != "" {
+		rt.handleStitchedTrace(w, r, id)
+		return
+	}
 	_, key, err := serve.Canonicalize(serve.Request{Workload: q.Get("workload"), Device: q.Get("device")})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

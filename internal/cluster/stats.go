@@ -47,7 +47,7 @@ func (rt *Router) aggregate(r *http.Request) ClusterStats {
 		go func(i int, node string) {
 			defer wg.Done()
 			ns := NodeStats{Node: node}
-			up, err := rt.attempt(r.Context(), node, http.MethodGet, "/v1/stats", nil, requestID(r))
+			up, err := rt.attempt(r.Context(), node, http.MethodGet, "/v1/stats", nil, requestID(r), 0)
 			switch {
 			case err != nil:
 				ns.Err = err.Error()

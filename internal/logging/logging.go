@@ -1,0 +1,51 @@
+// Package logging is the one slog configuration point for the nsbench
+// binaries. Every command (nsserve, nsrouter, nsbench, nsprof) takes the
+// same -log-format flag and builds its logger here, so structured output
+// is uniform across the fleet: text for humans at a terminal, JSON for
+// log pipelines — and a stitched-trace investigation can grep one field
+// layout across router and replica logs.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Formats accepted by New.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// New builds a logger writing to w in the given format ("text" or
+// "json"; empty selects text). quiet returns a nil logger — the
+// convention the serving stack uses for "logging disabled" — so callers
+// can pass flag values through unconditionally.
+func New(w io.Writer, format string, quiet bool) (*slog.Logger, error) {
+	if quiet {
+		return nil, nil
+	}
+	switch format {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+	}
+}
+
+// Setup builds the logger like New and, when logging is enabled, also
+// installs it as the slog default so package-level slog calls in a binary
+// agree with the logger it threads explicitly.
+func Setup(w io.Writer, format string, quiet bool) (*slog.Logger, error) {
+	logger, err := New(w, format, quiet)
+	if err != nil {
+		return nil, err
+	}
+	if logger != nil {
+		slog.SetDefault(logger)
+	}
+	return logger, nil
+}

@@ -1,0 +1,53 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewText(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", FormatText} {
+		buf.Reset()
+		logger, err := New(&buf, format, false)
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		logger.Info("hello", "k", "v")
+		line := buf.String()
+		if !strings.Contains(line, "msg=hello") || !strings.Contains(line, "k=v") {
+			t.Fatalf("format %q: text line = %q", format, line)
+		}
+	}
+}
+
+func TestNewJSON(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := New(&buf, FormatJSON, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "k", "v")
+	var rec map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON line does not parse: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("JSON record = %v", rec)
+	}
+}
+
+func TestNewQuiet(t *testing.T) {
+	logger, err := New(&bytes.Buffer{}, FormatJSON, true)
+	if err != nil || logger != nil {
+		t.Fatalf("quiet = (%v, %v), want nil logger, nil error", logger, err)
+	}
+}
+
+func TestNewUnknownFormat(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "yaml", false); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo publishes the ns_build_info gauge: constant value 1
+// with the build identity as labels (Go runtime version, module version,
+// and VCS revision when the binary was built from a checkout). Every
+// nsbench-family binary registers it so a scrape can always answer "what
+// exactly is running here?" — the conventional *_build_info idiom.
+//
+// Values that debug.ReadBuildInfo cannot supply (e.g. `go run`, test
+// binaries) degrade to "unknown" rather than being omitted, so the label
+// set is stable across build modes.
+func RegisterBuildInfo(reg *Registry) {
+	goVersion := runtime.Version()
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	reg.GaugeVec("ns_build_info",
+		"Build identity of this binary (constant 1; identity in the labels).",
+		"go_version", "version", "revision").
+		With(goVersion, version, revision).Set(1)
+}

@@ -363,6 +363,23 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// CountAtOrBelow returns how many observations landed in buckets whose
+// upper bound is <= bound — the cumulative count the bucket resolution
+// can answer exactly. A bound between two bucket boundaries rounds down
+// to the lower boundary (the conservative side for "requests faster than
+// X" SLO accounting: never counts a slow request as fast). This is the
+// histogram-side feed for latency objectives (internal/slo).
+func (h *Histogram) CountAtOrBelow(bound float64) uint64 {
+	var n uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 // counts loads every bucket once.
 func (h *Histogram) counts() []uint64 {
 	out := make([]uint64, len(h.buckets))

@@ -108,6 +108,7 @@ func (s *Server) drainPendingLocked() {
 // batch runs one batched characterization whose per-item reports finish
 // each flight — and fill the cache — individually.
 func (s *Server) runBatch(fs []*flight) {
+	dequeued := time.Now()
 	live := make([]*flight, 0, len(fs))
 	for _, f := range fs {
 		if f.loadWaiting() == 0 {
@@ -117,12 +118,22 @@ func (s *Server) runBatch(fs []*flight) {
 			s.finish(f, false)
 			continue
 		}
+		// Queue wait: admission (or group creation) to worker pickup,
+		// recorded per flight so each request's timeline shows its own gap.
+		if !f.enqueuedAt.IsZero() {
+			s.recordServeSpanAt(f.id, "queue.wait", f.enqueuedAt, dequeued)
+		}
 		live = append(live, f)
 	}
 	if len(live) == 0 {
 		return
 	}
 	if s.cfg.BatchWindow > 0 {
+		// The coalescing window itself, attributed to the batch leader
+		// (whose ID also scopes the batched pass's engine events).
+		if lead := live[0]; !lead.enqueuedAt.IsZero() {
+			s.recordServeSpanAt(lead.id, "batch.window", lead.enqueuedAt, dequeued)
+		}
 		s.st.batches.Inc()
 		s.st.batchItems.Add(uint64(len(live)))
 		s.st.occupancy.Observe(float64(len(live)))
@@ -172,6 +183,11 @@ func (s *Server) characterizeBatch(fs []*flight) ([][]byte, error) {
 	reports, err := core.CharacterizeBatch(bw, len(fs), core.Options{Pool: s.pool, Observer: s.runObserver(fs[0].id)}, items...)
 	if err != nil {
 		return nil, err
+	}
+	if len(reports) > 0 {
+		// One engine pass served the whole group; its timeline lives under
+		// the leader's ID like the recorder events do.
+		s.recordRunSpans(fs[0].id, reports[0].Trace)
 	}
 	out := make([][]byte, len(reports))
 	for i, r := range reports {

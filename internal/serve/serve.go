@@ -39,6 +39,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +50,7 @@ import (
 	"github.com/neurosym/nsbench/internal/hwsim"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/ops"
+	"github.com/neurosym/nsbench/internal/slo"
 	"github.com/neurosym/nsbench/internal/trace"
 )
 
@@ -99,6 +101,24 @@ type Config struct {
 	// ExploreConcurrency bounds concurrently streaming sweeps; 0 selects 2.
 	// At the limit new sweeps answer 429 + Retry-After.
 	ExploreConcurrency int
+	// NodeName identifies this replica in cross-process trace stitching
+	// (the pid label of its slice of a stitched timeline). Empty selects
+	// "<hostname>-<pid>". A routing tier typically overrides it with the
+	// replica's URL when it assembles the stitched view.
+	NodeName string
+	// SLO parameterizes the burn-rate windows and budget period of the
+	// server's objectives; the zero value selects the slo package
+	// defaults (1s sampling, 1h period, 1m/5m windows).
+	SLO slo.Config
+	// SLOAvailabilityTarget is the non-5xx success-ratio objective over
+	// all HTTP responses; 0 selects 0.999.
+	SLOAvailabilityTarget float64
+	// SLOLatencyTarget is the fraction of /v1/characterize responses that
+	// must finish within SLOLatencyThreshold; 0 selects 0.95.
+	SLOLatencyTarget float64
+	// SLOLatencyThreshold is the latency objective's cutoff; 0 selects
+	// 250ms.
+	SLOLatencyThreshold time.Duration
 }
 
 func (c *Config) defaults() {
@@ -125,6 +145,22 @@ func (c *Config) defaults() {
 	}
 	if c.ExploreConcurrency == 0 {
 		c.ExploreConcurrency = 2
+	}
+	if c.NodeName == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "nsserve"
+		}
+		c.NodeName = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.SLOAvailabilityTarget == 0 {
+		c.SLOAvailabilityTarget = 0.999
+	}
+	if c.SLOLatencyTarget == 0 {
+		c.SLOLatencyTarget = 0.95
+	}
+	if c.SLOLatencyThreshold == 0 {
+		c.SLOLatencyThreshold = 250 * time.Millisecond
 	}
 }
 
@@ -197,6 +233,11 @@ type flight struct {
 	err  error
 	code int // HTTP status to pair with err
 
+	// enqueuedAt is when the leader admitted the flight; the worker that
+	// dequeues it records the gap as a queue.wait span so queueing delay
+	// is visible on the stitched timeline.
+	enqueuedAt time.Time
+
 	// waiting counts the requests currently blocked on done. A worker
 	// that dequeues a flight with zero waiters drops it: everyone who
 	// wanted the report has already timed out or disconnected.
@@ -246,6 +287,13 @@ type Server struct {
 	// recorder is the flight recorder fed by every characterization's
 	// observer chain; nil when Config.RecorderSize is negative.
 	recorder *trace.Recorder
+	// slos tracks the server's availability and latency objectives;
+	// sloGood/sloTotal are its availability feed (non-5xx / all HTTP
+	// responses), counted in instrument. Unregistered counters: the SLO
+	// plane exports its own ns_slo_* view of them.
+	slos     *slo.Set
+	sloGood  metrics.Counter
+	sloTotal metrics.Counter
 	// opObs streams per-operator timings into the registry. Kept so
 	// per-run observers can chain it with recorder attribution.
 	opObs  trace.Observer
@@ -308,7 +356,28 @@ func New(cfg Config) (*Server, error) {
 			return float64(s.cache.Len())
 		})
 	metrics.NewGoCollector(reg)
+	metrics.RegisterBuildInfo(reg)
 	ops.RegisterPoolMetrics(reg, s.pool)
+	s.slos = slo.NewSet(cfg.SLO)
+	if err := s.slos.Add(slo.Objective{
+		Name:        "availability",
+		Description: "Non-5xx responses across all endpoints.",
+		Target:      cfg.SLOAvailabilityTarget,
+		Source:      slo.FromCounters(s.sloGood.Value, s.sloTotal.Value),
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.slos.Add(slo.Objective{
+		Name: "characterize_latency",
+		Description: fmt.Sprintf("/v1/characterize responses within %s (histogram-bucket resolution).",
+			cfg.SLOLatencyThreshold),
+		Target: cfg.SLOLatencyTarget,
+		Source: slo.FromHistogram(s.httpLat.With("/v1/characterize"), cfg.SLOLatencyThreshold.Seconds()),
+	}); err != nil {
+		return nil, err
+	}
+	s.slos.Register(reg)
+	s.slos.Start()
 	// Stream per-operator timings from every characterization into the
 	// registry: the live form of the paper's operator breakdown.
 	s.opObs = ops.NewOpObserver(reg)
@@ -334,6 +403,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/explore", s.instrument("/v1/explore", s.handleExplore))
 	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("/v1/slo", s.instrument("/v1/slo", s.handleSLO))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))
@@ -389,6 +459,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		dur := time.Since(start)
 		lat.ObserveSeconds(dur.Nanoseconds())
 		s.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		// Availability SLO feed: every response counts, 5xx counts bad.
+		s.sloTotal.Inc()
+		if sw.code < 500 {
+			s.sloGood.Inc()
+		}
 		if s.logger != nil {
 			s.logger.Info("request",
 				"method", r.Method, "path", r.URL.Path,
@@ -506,6 +581,7 @@ func (s *Server) Close() {
 		close(s.queue)
 		s.wg.Wait()
 		s.pool.Close()
+		s.slos.Close()
 	})
 }
 
@@ -558,12 +634,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, b)
 }
 
+// recordServeSpan records one serving-layer range (kind "serve") from
+// start to now on lane 0 under id. No-op with the recorder disabled.
+func (s *Server) recordServeSpan(id, name string, start time.Time) {
+	s.recordServeSpanAt(id, name, start, time.Now())
+}
+
+// recordServeSpanAt is recordServeSpan with an explicit end time, for
+// call sites (the batch worker) that measure several ranges against one
+// shared instant.
+func (s *Server) recordServeSpanAt(id, name string, start, end time.Time) {
+	if s.recorder == nil {
+		return
+	}
+	s.recorder.RecordSpan(id, trace.SpanAt(name, "serve", 0, start, end))
+}
+
 // handleCharacterize is the serving hot path: canonicalize, cache lookup,
 // singleflight join-or-lead, bounded admission, wait with deadline.
+// Serving-layer ranges (request extent, cache probe, queue wait) are
+// recorded as spans under the request ID so a stitched cross-process
+// timeline shows where the request's time went before the engine ran.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
+	reqStart := time.Now()
+	id := requestID(r)
+	defer func() { s.recordServeSpan(id, "serve.characterize", reqStart) }()
 	s.st.requests.Inc()
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -576,15 +674,18 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	probeStart := time.Now()
 	s.mu.Lock()
 	if b, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
+		s.recordServeSpan(id, "cache.probe(hit)", probeStart)
 		s.st.cacheHits.Inc()
 		w.Header().Set("X-NSServe-Cache", "hit")
 		writeJSON(w, b)
 		return
 	}
 	s.st.cacheMiss.Inc()
+	s.recordServeSpan(id, "cache.probe(miss)", probeStart)
 	if s.shutdown {
 		s.mu.Unlock()
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
@@ -595,7 +696,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		s.st.dedupJoins.Inc()
 		f.join()
 	} else {
-		f = &flight{key: key, req: canon, id: requestID(r), done: make(chan struct{})}
+		f = &flight{key: key, req: canon, id: id, done: make(chan struct{}), enqueuedAt: time.Now()}
 		// Register interest before the flight becomes visible to a
 		// worker, or a fast dequeue could mistake it for abandoned.
 		f.join()
@@ -739,7 +840,9 @@ func (s *Server) characterize(req Request, runID string) ([]byte, error) {
 }
 
 // run executes one characterization and returns the full report (trace
-// included). runID scopes the run's events in the flight recorder.
+// included). runID scopes the run's events in the flight recorder; the
+// run's stage/fork spans are copied into the recorder under the same ID
+// so /v1/trace?request_id= can rebuild the engine timeline later.
 func (s *Server) run(req Request, runID string) (*core.Report, error) {
 	wl, err := core.BuildWorkload(req.Workload)
 	if err != nil {
@@ -750,7 +853,20 @@ func (s *Server) run(req Request, runID string) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Characterize(wl, core.Options{Device: dev, Pool: s.pool, Observer: s.runObserver(runID)})
+	report, err := core.Characterize(wl, core.Options{Device: dev, Pool: s.pool, Observer: s.runObserver(runID)})
+	if err == nil {
+		s.recordRunSpans(runID, report.Trace)
+	}
+	return report, err
+}
+
+// recordRunSpans copies a finished run's timeline spans into the flight
+// recorder under id. No-op with the recorder disabled.
+func (s *Server) recordRunSpans(id string, t *trace.Trace) {
+	if s.recorder == nil || t == nil {
+		return
+	}
+	s.recorder.RecordSpans(id, t.Spans())
 }
 
 // runObserver chains the registry's per-operator observer with
@@ -778,6 +894,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if id := q.Get("request_id"); id != "" {
+		s.handleRequestTrace(w, id)
+		return
+	}
 	format := q.Get("format")
 	if format == "" {
 		format = "chrome"
@@ -805,6 +925,40 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if err != nil && s.logger != nil {
 		s.logger.Error("trace write failed", "id", requestID(r), "err", err)
 	}
+}
+
+// handleRequestTrace serves the flight recorder's slice of one past
+// request as a trace.RequestTrace wire document: the serving-layer and
+// engine spans plus operator events recorded under the request ID, each
+// stamped with this replica's node name. This is the replica half of
+// cross-process stitching — the router fans this query out and merges
+// the slices into one timeline.
+func (s *Server) handleRequestTrace(w http.ResponseWriter, id string) {
+	if s.recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	rt := s.recorder.RequestTrace(id, s.cfg.NodeName)
+	b, err := json.Marshal(rt)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, b)
+}
+
+// handleSLO reports the server's objectives: error budgets, windowed
+// burn rates, and alert state, as computed by the slo sampler.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	b, err := json.Marshal(s.slos.Report())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, b)
 }
 
 // debugTraceEntry is one flight-recorder row as served by /debug/trace.

@@ -188,3 +188,63 @@ func TestRequestLogging(t *testing.T) {
 		}
 	}
 }
+
+func TestRequestTraceEndpoint(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{RecorderSize: 64, NodeName: "replica-test"})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/characterize",
+		strings.NewReader(`{"workload":"testfast"}`))
+	req.Header.Set("X-Request-ID", "stitch-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("characterize: status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	dump := get(h, "/v1/trace?request_id=stitch-1")
+	if dump.Code != http.StatusOK {
+		t.Fatalf("request trace: status = %d: %s", dump.Code, dump.Body.String())
+	}
+	var rt trace.RequestTrace
+	if err := json.Unmarshal(dump.Body.Bytes(), &rt); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rt.RequestID != "stitch-1" || rt.Node != "replica-test" {
+		t.Fatalf("trace scoped to %q on %q, want stitch-1 on replica-test", rt.RequestID, rt.Node)
+	}
+	if len(rt.Events) == 0 {
+		t.Fatal("no engine events in request trace")
+	}
+	spans := map[string]bool{}
+	for _, sp := range rt.Spans {
+		spans[sp.Name] = true
+		if sp.StartUnixNs <= 0 || sp.DurNs < 0 {
+			t.Fatalf("span %q has bad extent: start %d dur %d", sp.Name, sp.StartUnixNs, sp.DurNs)
+		}
+	}
+	for _, want := range []string{"serve.characterize", "cache.probe(miss)", "queue.wait"} {
+		if !spans[want] {
+			t.Fatalf("spans = %v, missing %q", spans, want)
+		}
+	}
+
+	// An ID the recorder never saw yields an empty (but well-formed) trace.
+	var empty trace.RequestTrace
+	other := get(h, "/v1/trace?request_id=nope")
+	if err := json.Unmarshal(other.Body.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Events) != 0 || len(empty.Spans) != 0 {
+		t.Fatalf("unknown ID returned %d events, %d spans", len(empty.Events), len(empty.Spans))
+	}
+}
+
+func TestRequestTraceEndpointDisabled(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{RecorderSize: -1})
+	if rec := get(s.Handler(), "/v1/trace?request_id=x"); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 with recorder disabled", rec.Code)
+	}
+}

@@ -1,0 +1,417 @@
+// Package slo is the service-level-objective plane for the nsbench
+// serving tier: declarative availability/latency objectives, multi-window
+// burn-rate tracking in the SRE-workbook style, and an exportable report
+// that both /v1/slo (JSON) and /metrics (ns_slo_* gauges) render.
+//
+// The model: an Objective names a target success ratio (e.g. 0.999) over
+// a Source of cumulative (good, total) event counts. The error budget is
+// 1-target; the burn rate over a window is the window's observed error
+// rate divided by the budget, so burn 1.0 means "consuming budget exactly
+// as fast as the objective allows" and burn 14.4 means the classic
+// page-now threshold (a 30-day budget gone in ~2 days). A Set samples
+// every objective's counters on a fixed interval into a ring, so windowed
+// rates are computed from real deltas, not lifetime averages; an alert
+// fires only when every configured window is over its threshold at once —
+// the multi-window AND that keeps short blips and long hangovers from
+// paging on their own.
+//
+// Sources adapt the metrics the stack already collects: FromCounters for
+// availability objectives (good = non-5xx responses) and FromHistogram
+// for latency objectives (good = observations at or below a threshold,
+// read from the existing latency histograms at bucket resolution).
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/metrics"
+)
+
+// Source yields cumulative event counts for one objective. Counts must be
+// monotonic: good <= total, both non-decreasing. Implementations are read
+// on the sampling goroutine and on demand by Report, so they must be safe
+// for concurrent use (all metrics-backed sources are).
+type Source interface {
+	Counts() (good, total uint64)
+}
+
+type funcSource struct{ fn func() (uint64, uint64) }
+
+func (s funcSource) Counts() (uint64, uint64) { return s.fn() }
+
+// FromCounters adapts two cumulative counter reads (good events, total
+// events) into a Source — the availability-objective shape.
+func FromCounters(good, total func() uint64) Source {
+	return funcSource{func() (uint64, uint64) { return good(), total() }}
+}
+
+// FromHistogram adapts a latency histogram into a Source: total is the
+// observation count, good the observations at or below threshold
+// (seconds), read at the histogram's bucket resolution — the threshold
+// effectively rounds down to the nearest bucket boundary, which
+// undercounts good events and therefore never hides an SLO violation.
+func FromHistogram(h *metrics.Histogram, threshold float64) Source {
+	return funcSource{func() (uint64, uint64) {
+		// Total is read before good: a concurrent fast observation that
+		// lands between the two reads inflates good relative to total,
+		// so read the bounding count first and clamp below.
+		total := h.Count()
+		good := h.CountAtOrBelow(threshold)
+		if good > total {
+			good = total
+		}
+		return good, total
+	}}
+}
+
+// Window is one burn-rate evaluation window.
+type Window struct {
+	// Name labels the window in reports and metrics ("fast", "slow").
+	Name string `json:"name"`
+	// Duration is the lookback the burn rate is computed over.
+	Duration time.Duration `json:"duration_ns"`
+	// MaxBurn is the alert threshold for this window's burn rate.
+	MaxBurn float64 `json:"max_burn"`
+}
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective in reports and metric labels.
+	Name string
+	// Description is free-form operator documentation.
+	Description string
+	// Target is the success-ratio goal in (0, 1), e.g. 0.999. The error
+	// budget is 1 - Target.
+	Target float64
+	// Source supplies the cumulative (good, total) counts.
+	Source Source
+}
+
+// Config parameterizes a Set. The zero value selects scaled-down
+// SRE-workbook defaults sized for a demo service rather than a 30-day
+// production budget: 1s sampling, a 1h budget period, and a 1m/5m
+// fast/slow window pair at the workbook's 14.4/6 thresholds.
+type Config struct {
+	// SampleInterval is the counter-sampling period; 0 selects 1s.
+	SampleInterval time.Duration
+	// Period is the error-budget accounting horizon; 0 selects 1h.
+	// Budget consumption is computed over at most this much history.
+	Period time.Duration
+	// Windows are the burn-rate windows; nil selects the default
+	// fast(1m, 14.4) / slow(5m, 6) pair. An alert fires only when every
+	// window exceeds its threshold simultaneously.
+	Windows []Window
+}
+
+func (c *Config) defaults() {
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.Period <= 0 {
+		c.Period = time.Hour
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []Window{
+			{Name: "fast", Duration: time.Minute, MaxBurn: 14.4},
+			{Name: "slow", Duration: 5 * time.Minute, MaxBurn: 6},
+		}
+	}
+}
+
+// sample is one point of an objective's counter history.
+type sample struct {
+	at          time.Time
+	good, total uint64
+}
+
+// tracker is one objective plus its sampled history.
+type tracker struct {
+	obj  Objective
+	base sample // counts at Start: reports are deltas from here
+	ring []sample
+	head int // next write position
+	n    int // live entries
+}
+
+func (tr *tracker) push(s sample) {
+	if tr.n < len(tr.ring) {
+		tr.ring[(tr.head+tr.n)%len(tr.ring)] = s
+		tr.n++
+		return
+	}
+	tr.ring[tr.head] = s
+	tr.head = (tr.head + 1) % len(tr.ring)
+}
+
+// at returns the newest sample no newer than t, falling back to the
+// oldest held sample (or the start baseline) when history is shorter
+// than the asked-for lookback.
+func (tr *tracker) at(t time.Time) sample {
+	best := tr.base
+	for i := 0; i < tr.n; i++ {
+		s := tr.ring[(tr.head+i)%len(tr.ring)]
+		if s.at.After(t) {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// Set owns a group of objectives sampled on one schedule. Construct with
+// NewSet, Add objectives, then Start; Close stops the sampler.
+type Set struct {
+	cfg Config
+
+	mu       sync.Mutex
+	trackers []*tracker
+	started  bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewSet returns an empty objective set.
+func NewSet(cfg Config) *Set {
+	cfg.defaults()
+	return &Set{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Add registers an objective. Objectives must be added before Start.
+func (s *Set) Add(obj Objective) error {
+	if obj.Name == "" {
+		return errors.New("slo: objective needs a name")
+	}
+	if obj.Target <= 0 || obj.Target >= 1 {
+		return fmt.Errorf("slo: objective %q: target %v outside (0, 1)", obj.Name, obj.Target)
+	}
+	if obj.Source == nil {
+		return fmt.Errorf("slo: objective %q: nil source", obj.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("slo: objective %q added after Start", obj.Name)
+	}
+	for _, tr := range s.trackers {
+		if tr.obj.Name == obj.Name {
+			return fmt.Errorf("slo: duplicate objective %q", obj.Name)
+		}
+	}
+	// The ring must cover the budget period and the longest window.
+	span := s.cfg.Period
+	for _, w := range s.cfg.Windows {
+		if w.Duration > span {
+			span = w.Duration
+		}
+	}
+	capacity := int(span/s.cfg.SampleInterval) + 2
+	s.trackers = append(s.trackers, &tracker{obj: obj, ring: make([]sample, capacity)})
+	return nil
+}
+
+// Start baselines every objective at the current counter values and
+// launches the sampling loop. Idempotent-hostile by design: call once.
+func (s *Set) Start() {
+	s.mu.Lock()
+	s.started = true
+	now := time.Now()
+	for _, tr := range s.trackers {
+		good, total := tr.obj.Source.Counts()
+		tr.base = sample{at: now, good: good, total: total}
+	}
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.SampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sampleAll()
+			}
+		}
+	}()
+}
+
+// Close stops the sampling loop and waits for it to exit. Idempotent.
+func (s *Set) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Set) sampleAll() {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.trackers {
+		good, total := tr.obj.Source.Counts()
+		tr.push(sample{at: now, good: good, total: total})
+	}
+}
+
+// WindowReport is one window's burn state inside an ObjectiveReport.
+type WindowReport struct {
+	Name      string  `json:"name"`
+	Seconds   float64 `json:"seconds"`
+	ErrorRate float64 `json:"error_rate"`
+	BurnRate  float64 `json:"burn_rate"`
+	MaxBurn   float64 `json:"max_burn"`
+	Firing    bool    `json:"firing"`
+}
+
+// ObjectiveReport is one objective's full SLO state.
+type ObjectiveReport struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Target      float64 `json:"target"`
+	// Good and Total are cumulative events since Start.
+	Good  uint64 `json:"good"`
+	Total uint64 `json:"total"`
+	// ErrorRate is the lifetime (since Start) error ratio.
+	ErrorRate float64 `json:"error_rate"`
+	// BudgetConsumed is the fraction of the period's error budget used
+	// (>= 1 means the budget is spent); BudgetRemaining is its
+	// complement floored at 0.
+	BudgetConsumed  float64        `json:"budget_consumed"`
+	BudgetRemaining float64        `json:"budget_remaining"`
+	Windows         []WindowReport `json:"windows"`
+	// Alerting is true when every window is over its burn threshold —
+	// the multi-window AND condition.
+	Alerting bool `json:"alerting"`
+}
+
+// Report is the /v1/slo payload.
+type Report struct {
+	PeriodSeconds         float64           `json:"period_seconds"`
+	SampleIntervalSeconds float64           `json:"sample_interval_seconds"`
+	Objectives            []ObjectiveReport `json:"objectives"`
+}
+
+// rate returns the error ratio of the delta between two samples; zero
+// when the interval saw no events.
+func rate(from, to sample) float64 {
+	dTotal := int64(to.total) - int64(from.total)
+	dGood := int64(to.good) - int64(from.good)
+	if dTotal <= 0 {
+		return 0
+	}
+	bad := dTotal - dGood
+	if bad < 0 {
+		bad = 0
+	}
+	return float64(bad) / float64(dTotal)
+}
+
+// Report computes the current SLO state for every objective. The head
+// sample is taken live from each source, so an error burst is visible in
+// the report immediately — the sampler only fills in history.
+func (s *Set) Report() Report {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Report{
+		PeriodSeconds:         s.cfg.Period.Seconds(),
+		SampleIntervalSeconds: s.cfg.SampleInterval.Seconds(),
+		Objectives:            []ObjectiveReport{},
+	}
+	for _, tr := range s.trackers {
+		good, total := tr.obj.Source.Counts()
+		head := sample{at: now, good: good, total: total}
+		budget := 1 - tr.obj.Target
+		or := ObjectiveReport{
+			Name:        tr.obj.Name,
+			Description: tr.obj.Description,
+			Target:      tr.obj.Target,
+			Good:        head.good - tr.base.good,
+			Total:       head.total - tr.base.total,
+			ErrorRate:   rate(tr.base, head),
+		}
+		or.BudgetConsumed = rate(tr.at(now.Add(-s.cfg.Period)), head) / budget
+		or.BudgetRemaining = 1 - or.BudgetConsumed
+		if or.BudgetRemaining < 0 {
+			or.BudgetRemaining = 0
+		}
+		firingAll := len(s.cfg.Windows) > 0
+		for _, w := range s.cfg.Windows {
+			er := rate(tr.at(now.Add(-w.Duration)), head)
+			wr := WindowReport{
+				Name:      w.Name,
+				Seconds:   w.Duration.Seconds(),
+				ErrorRate: er,
+				BurnRate:  er / budget,
+				MaxBurn:   w.MaxBurn,
+			}
+			wr.Firing = wr.BurnRate >= w.MaxBurn
+			if !wr.Firing {
+				firingAll = false
+			}
+			or.Windows = append(or.Windows, wr)
+		}
+		or.Alerting = firingAll
+		out.Objectives = append(out.Objectives, or)
+	}
+	return out
+}
+
+// sloCollector refreshes the ns_slo_* gauges from a Set at exposition.
+type sloCollector struct {
+	set *Set
+
+	target    *metrics.GaugeVec // ns_slo_target{slo}
+	errRate   *metrics.GaugeVec // ns_slo_error_rate{slo,window}
+	burnRate  *metrics.GaugeVec // ns_slo_burn_rate{slo,window}
+	consumed  *metrics.GaugeVec // ns_slo_budget_consumed{slo}
+	remaining *metrics.GaugeVec // ns_slo_budget_remaining{slo}
+	firing    *metrics.GaugeVec // ns_slo_alert_firing{slo}
+	events    *metrics.GaugeVec // ns_slo_events{slo,result}
+}
+
+// Register publishes the set's state as ns_slo_* metrics in reg,
+// refreshed on every exposition via a collector.
+func (s *Set) Register(reg *metrics.Registry) {
+	c := &sloCollector{
+		set: s,
+		target: reg.GaugeVec("ns_slo_target",
+			"Success-ratio target of the objective.", "slo"),
+		errRate: reg.GaugeVec("ns_slo_error_rate",
+			"Windowed error ratio per objective and burn window.", "slo", "window"),
+		burnRate: reg.GaugeVec("ns_slo_burn_rate",
+			"Error-budget burn rate per objective and window (1.0 = burning exactly the budget).", "slo", "window"),
+		consumed: reg.GaugeVec("ns_slo_budget_consumed",
+			"Fraction of the period's error budget consumed.", "slo"),
+		remaining: reg.GaugeVec("ns_slo_budget_remaining",
+			"Fraction of the period's error budget remaining (floored at 0).", "slo"),
+		firing: reg.GaugeVec("ns_slo_alert_firing",
+			"1 when every burn window exceeds its threshold (multi-window alert).", "slo"),
+		events: reg.GaugeVec("ns_slo_events",
+			"Cumulative events seen by the objective since tracking started.", "slo", "result"),
+	}
+	reg.RegisterCollector(c)
+}
+
+func (c *sloCollector) Collect() {
+	rep := c.set.Report()
+	for _, o := range rep.Objectives {
+		c.target.With(o.Name).Set(o.Target)
+		c.consumed.With(o.Name).Set(o.BudgetConsumed)
+		c.remaining.With(o.Name).Set(o.BudgetRemaining)
+		firing := 0.0
+		if o.Alerting {
+			firing = 1
+		}
+		c.firing.With(o.Name).Set(firing)
+		c.events.With(o.Name, "good").Set(float64(o.Good))
+		c.events.With(o.Name, "total").Set(float64(o.Total))
+		for _, w := range o.Windows {
+			c.errRate.With(o.Name, w.Name).Set(w.ErrorRate)
+			c.burnRate.With(o.Name, w.Name).Set(w.BurnRate)
+		}
+	}
+}

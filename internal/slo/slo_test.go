@@ -1,0 +1,258 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/metrics"
+)
+
+// counterSource is a hand-driven Source for deterministic tests.
+type counterSource struct{ good, total atomic.Uint64 }
+
+func (c *counterSource) Counts() (uint64, uint64) { return c.good.Load(), c.total.Load() }
+
+// observe feeds n events, bad of them failures.
+func (c *counterSource) observe(n, bad uint64) {
+	c.total.Add(n)
+	c.good.Add(n - bad)
+}
+
+// newStartedSet builds a Set with one objective over src and starts it
+// with a long sample interval, so tests control every count transition.
+func newStartedSet(t *testing.T, target float64, src Source, windows []Window) *Set {
+	t.Helper()
+	s := NewSet(Config{SampleInterval: time.Hour, Period: time.Hour, Windows: windows})
+	if err := s.Add(Objective{Name: "obj", Target: target, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestAddValidation(t *testing.T) {
+	src := &counterSource{}
+	cases := []struct {
+		name string
+		obj  Objective
+	}{
+		{"empty name", Objective{Target: 0.9, Source: src}},
+		{"target zero", Objective{Name: "a", Target: 0, Source: src}},
+		{"target one", Objective{Name: "a", Target: 1, Source: src}},
+		{"nil source", Objective{Name: "a", Target: 0.9}},
+	}
+	for _, tc := range cases {
+		s := NewSet(Config{})
+		if err := s.Add(tc.obj); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	s := NewSet(Config{})
+	if err := s.Add(Objective{Name: "a", Target: 0.9, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Objective{Name: "a", Target: 0.9, Source: src}); err == nil {
+		t.Error("duplicate objective accepted")
+	}
+	s.Start()
+	defer s.Close()
+	if err := s.Add(Objective{Name: "b", Target: 0.9, Source: src}); err == nil {
+		t.Error("post-Start Add accepted")
+	}
+}
+
+func TestReportBurnRateMath(t *testing.T) {
+	src := &counterSource{}
+	// Baseline traffic before Start must not count against the budget.
+	src.observe(100, 50)
+	s := newStartedSet(t, 0.99, src, nil) // budget 0.01, default windows
+
+	rep := s.Report()
+	o := rep.Objectives[0]
+	if o.Total != 0 || o.ErrorRate != 0 || o.BudgetConsumed != 0 {
+		t.Fatalf("pre-traffic report not clean: %+v", o)
+	}
+
+	// 100 events, 2 failures: error rate 0.02 against a 0.01 budget means
+	// burn rate 2.0 and a fully consumed (clamped) budget.
+	src.observe(100, 2)
+	o = s.Report().Objectives[0]
+	if o.Good != 98 || o.Total != 100 {
+		t.Fatalf("good/total = %d/%d, want 98/100", o.Good, o.Total)
+	}
+	if got, want := o.ErrorRate, 0.02; !approx(got, want) {
+		t.Fatalf("error rate = %v, want %v", got, want)
+	}
+	if got, want := o.BudgetConsumed, 2.0; !approx(got, want) {
+		t.Fatalf("budget consumed = %v, want %v", got, want)
+	}
+	if o.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v, want 0 (floored)", o.BudgetRemaining)
+	}
+	if len(o.Windows) != 2 {
+		t.Fatalf("windows = %d, want the default fast/slow pair", len(o.Windows))
+	}
+	for _, w := range o.Windows {
+		// No sampler history yet: every window falls back to the Start
+		// baseline and sees the full 0.02 error rate → burn 2.0.
+		if !approx(w.BurnRate, 2.0) {
+			t.Fatalf("window %s burn = %v, want 2.0", w.Name, w.BurnRate)
+		}
+	}
+}
+
+// approx absorbs the float division noise in burn-rate ratios.
+func approx(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestMultiWindowAlertIsAnAnd(t *testing.T) {
+	src := &counterSource{}
+	// Burn rate will be 5.0 (error rate 0.05 / budget 0.01): over the
+	// fast threshold but under the slow one → no alert.
+	s := newStartedSet(t, 0.99, src, []Window{
+		{Name: "fast", Duration: time.Minute, MaxBurn: 2},
+		{Name: "slow", Duration: 5 * time.Minute, MaxBurn: 100},
+	})
+	src.observe(100, 5)
+	o := s.Report().Objectives[0]
+	if !o.Windows[0].Firing || o.Windows[1].Firing {
+		t.Fatalf("window firing = %v/%v, want true/false", o.Windows[0].Firing, o.Windows[1].Firing)
+	}
+	if o.Alerting {
+		t.Fatal("alert fired with only one window over threshold")
+	}
+
+	// Both windows over threshold → alert.
+	s2 := newStartedSet(t, 0.99, &counterSource{}, []Window{
+		{Name: "fast", Duration: time.Minute, MaxBurn: 2},
+		{Name: "slow", Duration: 5 * time.Minute, MaxBurn: 2},
+	})
+	src2 := s2.trackers[0].obj.Source.(*counterSource)
+	src2.observe(100, 5)
+	if o := s2.Report().Objectives[0]; !o.Alerting {
+		t.Fatalf("alert not firing with every window over threshold: %+v", o)
+	}
+}
+
+func TestWindowedRatesUseSampledHistory(t *testing.T) {
+	// Drive the tracker directly: a burst of errors followed by clean
+	// traffic must age out of a short window while the lifetime error
+	// rate keeps counting it.
+	src := &counterSource{}
+	s := NewSet(Config{SampleInterval: time.Second, Period: time.Hour, Windows: []Window{
+		{Name: "fast", Duration: 10 * time.Second, MaxBurn: 14.4},
+	}})
+	if err := s.Add(Objective{Name: "obj", Target: 0.99, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	tr := s.trackers[0]
+	now := time.Now()
+	// t-60s: burst of 50 failures in 100 events already absorbed.
+	src.observe(100, 50)
+	s.mu.Lock()
+	tr.push(sample{at: now.Add(-60 * time.Second), good: src.good.Load(), total: src.total.Load()})
+	s.mu.Unlock()
+	// t-5s (inside the 10s window): clean counts after the burst.
+	src.observe(100, 0)
+	s.mu.Lock()
+	tr.push(sample{at: now.Add(-5 * time.Second), good: src.good.Load(), total: src.total.Load()})
+	s.mu.Unlock()
+	// More clean traffic since.
+	src.observe(50, 0)
+
+	o := s.Report().Objectives[0]
+	if o.Windows[0].ErrorRate != 0 {
+		t.Fatalf("windowed error rate = %v, want 0 (burst is older than the window)", o.Windows[0].ErrorRate)
+	}
+	if o.ErrorRate <= 0.1 {
+		t.Fatalf("lifetime error rate = %v, want > 0.1 (burst still counted)", o.ErrorRate)
+	}
+	if o.BudgetConsumed <= 1 {
+		t.Fatalf("budget consumed = %v, want > 1 (burst inside the period)", o.BudgetConsumed)
+	}
+}
+
+func TestFromHistogram(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("lat", "test", []float64{0.1, 1})
+	h.Observe(0.05) // good at threshold 0.1
+	h.Observe(0.5)  // over
+	h.Observe(5)    // overflow bucket
+	good, total := FromHistogram(h, 0.1).Counts()
+	if good != 1 || total != 3 {
+		t.Fatalf("good/total = %d/%d, want 1/3", good, total)
+	}
+	// A threshold between bucket bounds rounds down (conservative).
+	good, _ = FromHistogram(h, 0.9).Counts()
+	if good != 1 {
+		t.Fatalf("good at 0.9 = %d, want 1 (bucket resolution rounds down)", good)
+	}
+	good, _ = FromHistogram(h, 1).Counts()
+	if good != 2 {
+		t.Fatalf("good at 1.0 = %d, want 2", good)
+	}
+}
+
+func TestTrackerRingEviction(t *testing.T) {
+	tr := &tracker{ring: make([]sample, 3)}
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.push(sample{at: base.Add(time.Duration(i) * time.Second), total: uint64(i)})
+	}
+	// Samples 2, 3, 4 survive; at() finds the newest one <= the cutoff.
+	got := tr.at(base.Add(3500 * time.Millisecond))
+	if got.total != 3 {
+		t.Fatalf("at(+3.5s).total = %d, want 3", got.total)
+	}
+	// Cutoffs before all held samples fall back to the baseline.
+	if got := tr.at(base.Add(time.Second)); got.total != 0 {
+		t.Fatalf("pre-history cutoff total = %d, want baseline 0", got.total)
+	}
+}
+
+func TestRegisterExportsMetrics(t *testing.T) {
+	src := &counterSource{}
+	s := newStartedSet(t, 0.99, src, nil)
+	reg := metrics.NewRegistry()
+	s.Register(reg)
+	src.observe(10, 1)
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`ns_slo_target{slo="obj"} 0.99`,
+		`ns_slo_burn_rate{slo="obj",window="fast"}`,
+		`ns_slo_budget_consumed{slo="obj"}`,
+		`ns_slo_alert_firing{slo="obj"}`,
+		`ns_slo_events{slo="obj",result="total"} 10`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	s := newStartedSet(t, 0.999, &counterSource{}, nil)
+	b, err := json.Marshal(s.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"period_seconds"`, `"objectives"`, `"budget_consumed"`, `"windows"`, `"burn_rate"`, `"alerting"`} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Errorf("report JSON missing %s: %s", key, b)
+		}
+	}
+}
