@@ -43,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/neurosym/nsbench/internal/logging"
+	"github.com/neurosym/nsbench/internal/membership"
 	"github.com/neurosym/nsbench/internal/ops"
 	"github.com/neurosym/nsbench/internal/serve"
 )
@@ -68,6 +70,9 @@ func main() {
 	exploreMaxPoints := flag.Int("explore-max-points", 0, "max grid points per /v1/explore sweep (0 = default 65536)")
 	exploreConcurrency := flag.Int("explore-concurrency", 0, "concurrent /v1/explore sweeps before 429 (0 = default 2)")
 	nodeName := flag.String("node-name", "", "replica identity in stitched traces (default <hostname>-<pid>)")
+	announce := flag.String("announce", "", "nsrouter base URL to join on startup and heartbeat (empty = no announcement)")
+	advertise := flag.String("advertise", "", "base URL this replica is reachable at (default http://127.0.0.1<-addr> when -addr is :port)")
+	announceInterval := flag.Duration("announce-interval", 0, "heartbeat period to -announce (0 = default 5s; keep at or below a third of the router's -member-ttl)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	logFormat := flag.String("log-format", logging.FormatText, "log output format: text or json")
 	flag.Parse()
@@ -100,11 +105,41 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "nsserve: listening on %s (backend %s)\n", *addr, *backendName)
 
+	// Dynamic membership: join the router's cluster and keep heartbeating
+	// until drain, when one explicit leave withdraws this replica from the
+	// ring faster than the router's TTL or health ejection would.
+	var announcer *membership.Announcer
+	if *announce != "" {
+		self := *advertise
+		if self == "" {
+			if !strings.HasPrefix(*addr, ":") {
+				fatal(fmt.Errorf("-announce needs -advertise when -addr (%q) is not a bare :port", *addr))
+			}
+			self = "http://127.0.0.1" + *addr
+		}
+		announcer, err = membership.NewAnnouncer(membership.AnnouncerConfig{
+			Router:   *announce,
+			Self:     self,
+			Interval: *announceInterval,
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		announcer.Start()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "nsserve: shutting down, draining in-flight work...")
+		if announcer != nil {
+			// Leave the cluster before readiness flips: the router stops
+			// routing new keys here while the drain grace still answers
+			// the requests already in flight.
+			announcer.Close()
+		}
 		srv.BeginDrain()
 		if *drainGrace > 0 {
 			// Keep serving (with /readyz answering 503) long enough for

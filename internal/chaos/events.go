@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a scenario's fault/lifecycle timeline: a replica
+// crash, a restart, a runtime join, a fault-window edge, or an end-of-run
+// invariant check. The sequence number orders events totally (timestamps
+// can collide at millisecond resolution), and AtMs is relative to
+// scenario start so two runs of the same seed produce comparable logs.
+type Event struct {
+	Seq    int    `json:"seq"`
+	AtMs   int64  `json:"at_ms"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Event kinds emitted by the runner.
+const (
+	EventKill      = "kill"      // replica crashed (listener severed, no leave sent)
+	EventRestart   = "restart"   // a new generation started in the victim's slot
+	EventJoin      = "join"      // a replica began announcing to the router
+	EventFaultOn   = "fault.on"  // a proxy fault window opened (detail names it)
+	EventFaultOff  = "fault.off" // a proxy fault window closed
+	EventCheck     = "check"     // an end-of-run invariant was evaluated
+	EventViolation = "violation" // an invariant failed (detail says how)
+	EventMilestone = "milestone" // scenario lifecycle (start, traffic-done, ...)
+)
+
+// EventLog is the scenario's append-only event journal. Every Record is
+// written through to the sink immediately as one JSON line (so a crashed
+// soak run still leaves a usable artifact) and kept in memory for the
+// Result.
+type EventLog struct {
+	mu     sync.Mutex
+	start  time.Time
+	sink   io.Writer // may be nil
+	events []Event
+}
+
+// NewEventLog starts a journal; sink may be nil to keep events in memory
+// only.
+func NewEventLog(sink io.Writer) *EventLog {
+	return &EventLog{start: time.Now(), sink: sink}
+}
+
+// Record appends one event and flushes it to the sink as a JSONL line.
+func (l *EventLog) Record(kind, node, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev := Event{
+		Seq:    len(l.events),
+		AtMs:   time.Since(l.start).Milliseconds(),
+		Kind:   kind,
+		Node:   node,
+		Detail: detail,
+	}
+	l.events = append(l.events, ev)
+	if l.sink != nil {
+		if b, err := json.Marshal(ev); err == nil {
+			l.sink.Write(append(b, '\n'))
+		}
+	}
+}
+
+// Events returns a copy of the journal so far.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}

@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// FaultProxy is the test-only fault shim: a reverse proxy that fronts one
+// replica and can inject latency or sever connections on command. The
+// proxy's URL — not the replica's — is what joins the router's ring, so
+// every probe, characterize attempt, fill, and explore shard stream
+// passes through the fault point, exactly like a degrading NIC or an
+// overloaded host would present.
+//
+// Faults are deliberately the two shapes the router must absorb
+// differently: added latency (the request succeeds, slowly — feeds
+// latency histograms, hedging, and load-aware routing) and dropped
+// connections (a transport error — feeds failure streaks and failover).
+type FaultProxy struct {
+	lis net.Listener
+	srv *http.Server
+	rp  *httputil.ReverseProxy
+
+	latencyNs atomic.Int64 // injected per-request delay
+	dropEvery atomic.Int64 // sever every Nth connection; 0 = off
+	count     atomic.Int64 // requests seen (drop-fault modulus)
+}
+
+// NewFaultProxy starts a proxy for target on an ephemeral localhost port.
+func NewFaultProxy(target string) (*FaultProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad proxy target %q: %w", target, err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FaultProxy{lis: lis, rp: httputil.NewSingleHostReverseProxy(u)}
+	// Explore responses are NDJSON streams: flush every write through, or
+	// the shard points would sit in the proxy buffer until stream end.
+	p.rp.FlushInterval = -1
+	// Backend-down 502s are expected mid-kill; keep them off stderr.
+	p.rp.ErrorLog = log.New(io.Discard, "", 0)
+	p.srv = &http.Server{Handler: p}
+	go p.srv.Serve(lis)
+	return p, nil
+}
+
+// URL is the address the cluster should route through.
+func (p *FaultProxy) URL() string { return "http://" + p.lis.Addr().String() }
+
+// SetLatency injects d of delay in front of every proxied request
+// (0 clears the fault).
+func (p *FaultProxy) SetLatency(d time.Duration) { p.latencyNs.Store(int64(d)) }
+
+// SetDropEvery severs every nth connection without a response — the
+// client sees a transport error, as if the host's kernel reset the
+// socket. n <= 0 clears the fault.
+func (p *FaultProxy) SetDropEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.dropEvery.Store(int64(n))
+}
+
+func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d := time.Duration(p.latencyNs.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if n := p.dropEvery.Load(); n > 0 && p.count.Add(1)%n == 0 {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// No hijack support (HTTP/2 etc.): a 502 is still a retryable fault.
+		http.Error(w, "chaos: injected fault", http.StatusBadGateway)
+		return
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+// Close severs the proxy abruptly — in-flight connections included —
+// which is what a host crash looks like from the router's side.
+func (p *FaultProxy) Close() { p.srv.Close() }

@@ -68,6 +68,7 @@ func (rt *Router) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	live := rt.ring.Len()
 	if live == 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.Health.Interval))
 		http.Error(w, errNoReplicas.Error(), http.StatusServiceUnavailable)
 		return
 	}

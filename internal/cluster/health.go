@@ -84,6 +84,10 @@ type nodeHealth struct {
 	fails   int
 	oks     int
 	ejected bool
+	// rtt is the most recent successful probe round-trip time. Zero until
+	// the first probe lands; used to seed latency priors (hedge timer,
+	// replica load scores) before real traffic accumulates samples.
+	rtt time.Duration
 }
 
 // NewChecker builds a checker over nodes. probe may be nil, selecting
@@ -159,10 +163,86 @@ func (c *Checker) probeAll() {
 		wg.Add(1)
 		go func(n string) {
 			defer wg.Done()
-			c.report(n, c.probe(n) == nil)
+			c.probeOne(n)
 		}(node)
 	}
 	wg.Wait()
+}
+
+// probeOne runs one active probe against node, timing it and feeding the
+// outcome through the shared transition logic.
+func (c *Checker) probeOne(node string) {
+	start := time.Now()
+	ok := c.probe(node) == nil
+	rtt := time.Since(start)
+	if ok {
+		c.mu.Lock()
+		if n := c.nodes[node]; n != nil {
+			n.rtt = rtt
+		}
+		c.mu.Unlock()
+	}
+	c.report(node, ok)
+}
+
+// AddNode registers a node with the checker at runtime. With probation
+// true the node starts ejected and must pass ReadmitAfter consecutive
+// probes before the onReadmit callback admits it — the same gate a
+// failed node passes through, so a joining replica cannot take traffic
+// until it has proven readiness. Reports whether the node was new.
+func (c *Checker) AddNode(node string, probation bool) bool {
+	c.mu.Lock()
+	if c.nodes[node] != nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.nodes[node] = &nodeHealth{ejected: probation}
+	c.mu.Unlock()
+	return true
+}
+
+// RemoveNode forgets a node entirely (membership leave/expiry). No
+// callback fires — the caller owns the ring edit for removals, while
+// ejection keeps its callback because the checker decides it.
+func (c *Checker) RemoveNode(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes[node] == nil {
+		return false
+	}
+	delete(c.nodes, node)
+	return true
+}
+
+// ProbeNow fires one asynchronous probe of node, outside the interval
+// cadence. Used to accelerate admission of a just-joined replica.
+func (c *Checker) ProbeNow(node string) {
+	go c.probeOne(node)
+}
+
+// ProbeRTT returns node's last successful probe round-trip time, or 0 if
+// none has landed yet.
+func (c *Checker) ProbeRTT(node string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.nodes[node]; n != nil {
+		return n.rtt
+	}
+	return 0
+}
+
+// MaxProbeRTT returns the slowest last-probe RTT across nodes — a
+// conservative cluster-wide latency prior.
+func (c *Checker) MaxProbeRTT() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, n := range c.nodes {
+		if n.rtt > max {
+			max = n.rtt
+		}
+	}
+	return max
 }
 
 // ReportFailure feeds one passively observed failure (transport error or

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/neurosym/nsbench/internal/membership"
+)
+
+// TestRouterPropagatesRetryAfter pins the backpressure contract end to
+// end: a shed replica's computed Retry-After survives the router hop on a
+// terminal 429, and the router's own 503/502 error paths carry a hint of
+// their own instead of leaving clients to guess.
+func TestRouterPropagatesRetryAfter(t *testing.T) {
+	// Terminal 429: the only replica sheds with a computed backoff.
+	shed := stubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	})
+	rt := newTestRouter(t, Config{
+		Replicas:       []string{shed.URL},
+		Health:         HealthConfig{Interval: time.Hour, EjectAfter: 100},
+		RetryBaseDelay: time.Millisecond,
+	})
+	rec := routerPost(rt.Handler(), `{"workload":"LNN"}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed replica: %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("replica Retry-After lost at the router hop: %q, want \"7\"", got)
+	}
+
+	// Empty ring 503: the hint is the probe cadence — when a replica can
+	// next be readmitted.
+	dead := stubReplica(t, func(w http.ResponseWriter, r *http.Request) {})
+	dead.Close()
+	rt2 := newTestRouter(t, Config{
+		Replicas: []string{dead.URL},
+		Health:   HealthConfig{Interval: 5 * time.Millisecond, EjectAfter: 1, ReadmitAfter: 100},
+	})
+	await(t, "dead replica ejected", func() bool { return rt2.ring.Len() == 0 })
+	rec = routerPost(rt2.Handler(), `{"workload":"LNN"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("empty-ring 503 carries no Retry-After")
+	}
+
+	// All-transport-failure 502: still worth one client backoff.
+	broken := stubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+	rt3 := newTestRouter(t, Config{
+		Replicas:       []string{broken.URL},
+		Health:         HealthConfig{Interval: time.Hour, EjectAfter: 100},
+		RetryBaseDelay: time.Millisecond,
+	})
+	rec = routerPost(rt3.Handler(), `{"workload":"LNN"}`)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("broken transport: %d, want 502", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("all-replicas-failed 502 carries no Retry-After")
+	}
+}
+
+// TestHedgeDelaySeededFromProbeRTT pins the hedge-timer cold-start fix:
+// with a near-empty latency histogram the delay comes from the health
+// prober's measured RTT (never below the floor), and only a matured
+// histogram switches the timer to the observed quantile.
+func TestHedgeDelaySeededFromProbeRTT(t *testing.T) {
+	up := stubReplica(t, func(w http.ResponseWriter, r *http.Request) {})
+	rt := newTestRouter(t, Config{
+		Replicas: []string{up.URL},
+		Hedge:    true,
+		Health:   HealthConfig{Interval: time.Hour},
+	})
+
+	// No samples, no probe RTT recorded yet: the floor holds.
+	rt.health.mu.Lock()
+	rt.health.nodes[up.URL].rtt = 0
+	rt.health.mu.Unlock()
+	if got := rt.hedgeDelay(); got != rt.cfg.HedgeMinDelay {
+		t.Fatalf("cold delay %v, want floor %v", got, rt.cfg.HedgeMinDelay)
+	}
+
+	// A measured probe RTT seeds the timer at a multiple of it — the old
+	// behavior armed at the floor every time and hedged every early
+	// request.
+	rt.health.mu.Lock()
+	rt.health.nodes[up.URL].rtt = 50 * time.Millisecond
+	rt.health.mu.Unlock()
+	if got, want := rt.hedgeDelay(), hedgeProbeRTTFactor*50*time.Millisecond; got != want {
+		t.Fatalf("seeded delay %v, want %v (probe RTT × %d)", got, want, hedgeProbeRTTFactor)
+	}
+
+	// Once the histogram matures the observed quantile takes over: fast
+	// real attempts pull the delay back down to the floor despite the
+	// slow probe RTT.
+	for i := 0; i < hedgeSeedMinSamples; i++ {
+		rt.attemptLat.ObserveSeconds((2 * time.Millisecond).Nanoseconds())
+	}
+	if got := rt.hedgeDelay(); got != rt.cfg.HedgeMinDelay {
+		t.Fatalf("matured delay %v, want quantile floored at %v", got, rt.cfg.HedgeMinDelay)
+	}
+}
+
+// TestRouterEmptyRingReadyz (regression alongside the Retry-After work):
+// /readyz keeps answering 503 while the ring is empty even with dynamic
+// membership enabled and nothing joined yet.
+func TestRouterEmptyRingMembershipOnly(t *testing.T) {
+	rt := newTestRouter(t, Config{
+		Membership: membership.Config{Enabled: true},
+		Health:     fastHealth(),
+	})
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no members: %d, want 503", rec.Code)
+	}
+	post := routerPost(rt.Handler(), `{"workload":"LNN"}`)
+	if post.Code != http.StatusServiceUnavailable || post.Header().Get("Retry-After") == "" {
+		t.Fatalf("characterize with no members: %d (Retry-After %q), want 503 with hint",
+			post.Code, post.Header().Get("Retry-After"))
+	}
+}

@@ -101,6 +101,13 @@ func (r *Ring) Remove(node string) {
 	r.points = kept
 }
 
+// Contains reports whether node is currently a ring member.
+func (r *Ring) Contains(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.member[node]
+}
+
 // Len reports the number of member nodes.
 func (r *Ring) Len() int {
 	r.mu.RLock()

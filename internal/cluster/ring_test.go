@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -205,6 +206,108 @@ func TestRingRebalanceProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingGetNChurnProperty extends the rebalance contract to the
+// N-distinct-owner order replication routes by: under a leave, a key's
+// GetN order minus the departed node is preserved exactly (the ring walk
+// skips the departed node's points and nothing else), with at most one
+// new owner appended at the tail; symmetrically a join may only insert
+// the new node into the order, never permute the survivors. So churn
+// invalidates replica placement only where the churned node actually
+// owned a slot.
+func TestRingGetNChurnProperty(t *testing.T) {
+	const K = 500
+	keys := sampleKeys(K)
+
+	// without filters node out of an owner order.
+	without := func(order []string, node string) []string {
+		out := make([]string, 0, len(order))
+		for _, n := range order {
+			if n != node {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	prefixOf := func(short, long []string) bool {
+		if len(short) > len(long) {
+			return false
+		}
+		for i := range short {
+			if short[i] != long[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	prop := func(nNodes, pick, nOwners uint8) bool {
+		n := 3 + int(nNodes)%6     // 3..8 nodes
+		getN := 2 + int(nOwners)%2 // replication factor 2..3
+		nodes := nodeNames(n)
+		r := NewRing(0)
+		for _, node := range nodes {
+			r.Add(node)
+		}
+		before := make(map[string][]string, K)
+		for _, k := range keys {
+			before[k] = r.GetN(k, getN)
+		}
+
+		// Leave: survivors keep their relative order; only a departed
+		// owner's slot is backfilled, at the tail.
+		departed := nodes[int(pick)%n]
+		r.Remove(departed)
+		for _, k := range keys {
+			after := r.GetN(k, getN)
+			want := without(before[k], departed)
+			if !prefixOf(want, after) {
+				t.Errorf("remove(%s): key %q order %v -> %v does not preserve survivors %v",
+					departed, k, before[k], after, want)
+				return false
+			}
+			if len(after)-len(want) > 1 {
+				t.Errorf("remove(%s): key %q gained %d owners, want at most 1 backfill",
+					departed, k, len(after)-len(want))
+				return false
+			}
+			// A key whose owner set never included the departed node keeps
+			// its order byte-for-byte — churn is invisible to it.
+			if len(want) == len(before[k]) && !reflect.DeepEqual(after[:len(want)], before[k]) {
+				t.Errorf("remove(%s): unaffected key %q changed order %v -> %v",
+					departed, k, before[k], after)
+				return false
+			}
+		}
+
+		// Join (re-add): the churned node may be inserted into an order,
+		// but filtering it back out must recover the leave-time order.
+		r.Add(departed)
+		for _, k := range keys {
+			rejoined := r.GetN(k, getN)
+			if !reflect.DeepEqual(rejoined, before[k]) {
+				t.Errorf("re-add(%s): key %q order %v did not restore %v",
+					departed, k, rejoined, before[k])
+				return false
+			}
+		}
+		fresh := fmt.Sprintf("http://replica-fresh-%d:8080", pick)
+		r.Add(fresh)
+		for _, k := range keys {
+			after := r.GetN(k, getN)
+			kept := without(after, fresh)
+			if !prefixOf(kept, before[k]) {
+				t.Errorf("add(%s): key %q survivors %v are not a prefix of prior order %v",
+					fresh, k, kept, before[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
 }

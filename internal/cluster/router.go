@@ -47,12 +47,14 @@ import (
 	mrand "math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/neurosym/nsbench/internal/membership"
 	"github.com/neurosym/nsbench/internal/metrics"
 	"github.com/neurosym/nsbench/internal/serve"
 	"github.com/neurosym/nsbench/internal/slo"
@@ -62,14 +64,25 @@ import (
 // Config parameterizes a Router.
 type Config struct {
 	// Replicas are the nsserve base URLs fronted by the router (e.g.
-	// "http://10.0.0.1:8080"). At least one is required; trailing slashes
-	// are stripped.
+	// "http://10.0.0.1:8080"), seeded as permanent cluster members;
+	// trailing slashes are stripped. May be empty when Membership.Enabled
+	// — replicas then join at runtime.
 	Replicas []string
+	// Membership parameterizes dynamic join/leave (POST /v1/cluster/join
+	// heartbeats, TTL expiry). Disabled by default: the cluster is then
+	// exactly the static Replicas list.
+	Membership membership.Config
+	// Replication is the cache fan-fill factor: a characterize miss is
+	// pushed to this many distinct ring owners of the key, and reads pick
+	// the least-loaded live owner (load-aware, by in-flight count ×
+	// observed per-node latency). 0 or 1 selects single-owner sharding.
+	Replication int
 	// VNodes is the virtual-node count per replica; 0 selects
 	// DefaultVirtualNodes.
 	VNodes int
 	// MaxAttempts bounds how many distinct replicas one request may try
-	// (first attempt included); 0 selects min(3, len(Replicas)).
+	// (first attempt included); 0 selects 3. The ring yields at most one
+	// attempt per live member, so small clusters are naturally capped.
 	MaxAttempts int
 	// RetryBaseDelay is the backoff before the first retry, doubling per
 	// attempt with ±50% jitter; 0 selects 25ms.
@@ -122,9 +135,9 @@ type Config struct {
 func (c *Config) defaults() {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 3
-		if len(c.Replicas) < 3 {
-			c.MaxAttempts = len(c.Replicas)
-		}
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
 	}
 	if c.RetryBaseDelay == 0 {
 		c.RetryBaseDelay = 25 * time.Millisecond
@@ -151,6 +164,7 @@ func (c *Config) defaults() {
 		}
 		c.NodeName = fmt.Sprintf("nsrouter-%s-%d", host, os.Getpid())
 	}
+	c.Health.defaults()
 	if c.SLOAvailabilityTarget == 0 {
 		c.SLOAvailabilityTarget = 0.999
 	}
@@ -167,10 +181,14 @@ func (c *Config) defaults() {
 type Router struct {
 	cfg    Config
 	ring   *Ring
-	nodes  []string // all configured replicas, ring membership aside
 	health *Checker
+	member *membership.Registry
 	client *http.Client
 	logger *slog.Logger
+
+	// inflight tracks concurrent upstream attempts per node (node →
+	// *atomic.Int64) — half of the load score replication reads rank by.
+	inflight sync.Map
 
 	reg          *metrics.Registry
 	httpReqs     *metrics.CounterVec   // nsrouter_http_requests_total{endpoint,code}
@@ -180,8 +198,12 @@ type Router struct {
 	retries      *metrics.Counter
 	hedgeFired   *metrics.Counter
 	hedgeWon     *metrics.Counter
-	hedgeOutcome *metrics.CounterVec // nsrouter_hedge_total{outcome}
-	attemptLat   *metrics.Histogram  // successful-attempt latency; arms the hedge timer
+	hedgeOutcome *metrics.CounterVec   // nsrouter_hedge_total{outcome}
+	attemptLat   *metrics.Histogram    // successful-attempt latency; arms the hedge timer
+	nodeLat      *metrics.HistogramVec // nsrouter_node_attempt_seconds{node} (load scores)
+	fillsTotal   *metrics.CounterVec   // nsrouter_replica_fills_total{outcome}
+	clusterJoins *metrics.Counter      // ns_cluster_joins_total
+	clusterLeave *metrics.Counter      // ns_cluster_leaves_total
 
 	// recorder is the router's flight recorder: proxy attempts, retry
 	// backoffs, hedge races, and health transitions, as spans keyed by
@@ -206,8 +228,8 @@ type Router struct {
 // New builds a router over cfg.Replicas, starts its health checker, and
 // returns it ready to serve.
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Replicas) == 0 {
-		return nil, errors.New("cluster: at least one replica required")
+	if len(cfg.Replicas) == 0 && !cfg.Membership.Enabled {
+		return nil, errors.New("cluster: at least one replica required (or enable dynamic membership)")
 	}
 	cfg.defaults()
 	reg := cfg.Metrics
@@ -239,6 +261,15 @@ func New(cfg Config) (*Router, error) {
 			"outcome"),
 		attemptLat: reg.Histogram("nsrouter_attempt_seconds",
 			"Latency of successful upstream attempts (feeds the hedge delay).", metrics.LatencyBuckets()),
+		nodeLat: reg.HistogramVec("nsrouter_node_attempt_seconds",
+			"Latency of successful upstream attempts by replica (feeds load-aware routing).",
+			metrics.LatencyBuckets(), "node"),
+		fillsTotal: reg.CounterVec("nsrouter_replica_fills_total",
+			"Replica cache fills fanned out for replicated keys, by outcome.", "outcome"),
+		clusterJoins: reg.Counter("ns_cluster_joins_total",
+			"Replicas that joined the cluster (new registrations, not heartbeats)."),
+		clusterLeave: reg.Counter("ns_cluster_leaves_total",
+			"Replicas that left the cluster (explicit leaves and TTL expiries)."),
 		exploreSweeps: reg.Counter("ns_explore_sweeps_total",
 			"Design-space sweeps fanned out across the cluster."),
 		exploreShards: reg.Counter("ns_explore_shards_total",
@@ -253,7 +284,6 @@ func New(cfg Config) (*Router, error) {
 		nodes[i] = strings.TrimRight(rep, "/")
 		rt.ring.Add(nodes[i])
 	}
-	rt.nodes = nodes
 	rt.health = NewChecker(cfg.Health, nodes, nil,
 		func(node string) {
 			rt.ring.Remove(node)
@@ -271,16 +301,45 @@ func New(cfg Config) (*Router, error) {
 				rt.logger.Info("replica readmitted", "node", node)
 			}
 		})
+	// Membership drives the ring through the checker: a joining replica is
+	// registered on probation (ejected) and enters the ring only via the
+	// checker's readmit path after ReadmitAfter probe successes — the same
+	// gate a recovering replica passes — so a join can never route traffic
+	// to an unproven node. A leave (explicit or TTL expiry) removes the
+	// node from both checker and ring immediately.
+	rt.member = membership.NewRegistry(cfg.Membership,
+		func(node string) {
+			rt.clusterJoins.Inc()
+			if rt.health.AddNode(node, true) {
+				rt.health.ProbeNow(node)
+			}
+			rt.recordRouterSpan(membershipTraceID, "membership.join("+node+")", time.Now())
+			if rt.logger != nil {
+				rt.logger.Info("replica joined (probation)", "node", node)
+			}
+		},
+		func(node, reason string) {
+			rt.clusterLeave.Inc()
+			rt.health.RemoveNode(node)
+			rt.ring.Remove(node)
+			rt.recordRouterSpan(membershipTraceID, "membership.leave("+node+" "+reason+")", time.Now())
+			if rt.logger != nil {
+				rt.logger.Info("replica left", "node", node, "reason", reason)
+			}
+		})
+	rt.member.SeedStatic(nodes)
 	reg.GaugeFunc("nsrouter_ring_nodes", "Live replicas currently in the hash ring.",
 		func() float64 { return float64(rt.ring.Len()) })
 	reg.GaugeFunc("nsrouter_ejected_nodes", "Replicas ejected by the health checker.",
 		func() float64 { return float64(len(rt.health.Ejected())) })
+	reg.GaugeFunc("ns_cluster_members", "Current cluster membership (static + dynamic).",
+		func() float64 { return float64(rt.member.Len()) })
 	metrics.NewGoCollector(reg)
 	metrics.RegisterBuildInfo(reg)
 	rt.slos = slo.NewSet(cfg.SLO)
 	if err := rt.slos.Add(slo.Objective{
 		Name:        "availability",
-		Description: "Non-5xx responses across all routed endpoints.",
+		Description: "Non-5xx responses across all routed endpoints (health/readiness probes excluded).",
 		Target:      cfg.SLOAvailabilityTarget,
 		Source:      slo.FromCounters(rt.sloGood.Value, rt.sloTotal.Value),
 	}); err != nil {
@@ -298,12 +357,20 @@ func New(cfg Config) (*Router, error) {
 	rt.slos.Register(reg)
 	rt.slos.Start()
 	rt.health.Start()
+	if cfg.Membership.Enabled {
+		rt.member.Start()
+	}
 	return rt, nil
 }
 
 // healthTraceID is the reserved flight-recorder ID health transitions are
 // recorded under (they belong to no single request).
 const healthTraceID = "_health"
+
+// membershipTraceID is the reserved flight-recorder ID join/leave events
+// are recorded under: GET /v1/trace?request_id=_membership replays the
+// cluster's churn history.
+const membershipTraceID = "_membership"
 
 // recordRouterSpan records one routing-layer range (kind "router") from
 // start to now on lane 0 under id. No-op with the recorder disabled.
@@ -327,6 +394,7 @@ func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
 // upstream connections.
 func (rt *Router) Close() {
 	rt.closeOnce.Do(func() {
+		rt.member.Close()
 		rt.health.Close()
 		rt.slos.Close()
 		rt.client.CloseIdleConnections()
@@ -343,6 +411,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/trace", rt.instrument("/v1/trace", rt.handleTrace))
 	mux.HandleFunc("/v1/stats", rt.instrument("/v1/stats", rt.handleStats))
 	mux.HandleFunc("/v1/slo", rt.instrument("/v1/slo", rt.handleSLO))
+	mux.HandleFunc("/v1/cluster/join", rt.instrument("/v1/cluster/join", rt.handleClusterJoin))
+	mux.HandleFunc("/v1/cluster/leave", rt.instrument("/v1/cluster/leave", rt.handleClusterLeave))
+	mux.HandleFunc("/v1/cluster/members", rt.instrument("/v1/cluster/members", rt.handleClusterMembers))
 	mux.HandleFunc("/metrics", rt.instrument("/metrics", rt.handleMetrics))
 	mux.HandleFunc("/healthz", rt.instrument("/healthz", rt.handleHealthz))
 	mux.HandleFunc("/readyz", rt.instrument("/readyz", rt.handleReadyz))
@@ -388,10 +459,15 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		dur := time.Since(start)
 		lat.ObserveSeconds(dur.Nanoseconds())
 		rt.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
-		// Availability SLO feed: every routed response counts, 5xx bad.
-		rt.sloTotal.Inc()
-		if sw.code < 500 {
-			rt.sloGood.Inc()
+		// Availability SLO feed: every routed response counts, 5xx bad —
+		// except the probe endpoints: /readyz answers 503 by design while
+		// the ring is empty (startup, every replica ejected), and that
+		// honest "not ready" must not burn the availability budget.
+		if endpoint != "/healthz" && endpoint != "/readyz" {
+			rt.sloTotal.Inc()
+			if sw.code < 500 {
+				rt.sloGood.Inc()
+			}
 		}
 		if rt.logger != nil {
 			rt.logger.Info("route",
@@ -473,6 +549,9 @@ func retryable(code int) bool {
 // can never eject a healthy node. Every attempt leaves a span in the
 // flight recorder under id on the given worker lane.
 func (rt *Router) attempt(ctx context.Context, node, method, path string, body []byte, id string, lane int) (*upstream, error) {
+	inflight := rt.inflightCounter(node)
+	inflight.Add(1)
+	defer inflight.Add(-1)
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -523,6 +602,7 @@ func (rt *Router) attempt(ctx context.Context, node, method, path string, body [
 	default:
 		rt.health.ReportSuccess(node)
 		rt.attemptLat.ObserveSeconds(time.Since(start).Nanoseconds())
+		rt.nodeLat.With(node).ObserveSeconds(time.Since(start).Nanoseconds())
 	}
 	return &upstream{node: node, code: resp.StatusCode, header: resp.Header, body: b}, nil
 }
@@ -539,11 +619,32 @@ func (rt *Router) backoff(i int) time.Duration {
 	return time.Duration(half + mrand.Int63n(half+1))
 }
 
+// hedgeSeedMinSamples is the attempt-latency sample count below which the
+// quantile is too noisy to arm the hedge timer: with a near-empty
+// histogram the quantile collapses to the lowest occupied bucket and
+// every early request hedges at the floor, doubling load exactly when
+// the router knows least. Until the histogram matures, the delay is
+// seeded from the health prober's measured RTT instead.
+const hedgeSeedMinSamples = 32
+
+// hedgeProbeRTTFactor scales the probe-RTT seed: a readiness probe is a
+// trivial handler, so a real characterization that hasn't answered within
+// a few probe round-trips is not yet suspicious.
+const hedgeProbeRTTFactor = 4
+
 // hedgeDelay is how long the primary attempt may run before a hedge is
 // launched: the configured quantile of observed successful-attempt
-// latency, floored at HedgeMinDelay (which also covers the no-data case).
+// latency once ≥hedgeSeedMinSamples exist, else a multiple of the
+// slowest health-probe RTT — both floored at HedgeMinDelay (which also
+// covers the probes-haven't-landed case).
 func (rt *Router) hedgeDelay() time.Duration {
 	d := rt.cfg.HedgeMinDelay
+	if rt.attemptLat.Count() < hedgeSeedMinSamples {
+		if seed := hedgeProbeRTTFactor * rt.health.MaxProbeRTT(); seed > d {
+			d = seed
+		}
+		return d
+	}
 	if q := rt.attemptLat.Quantile(rt.cfg.HedgeQuantile); !math.IsNaN(q) {
 		if lat := time.Duration(q * float64(time.Second)); lat > d {
 			d = lat
@@ -552,13 +653,63 @@ func (rt *Router) hedgeDelay() time.Duration {
 	return d
 }
 
+// inflightCounter returns node's concurrent-attempt counter, creating it
+// on first use.
+func (rt *Router) inflightCounter(node string) *atomic.Int64 {
+	if c, ok := rt.inflight.Load(node); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := rt.inflight.LoadOrStore(node, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// loadScore ranks a replica for read placement: in-flight attempts
+// weighted by observed mean attempt latency (a Little's-law queue-time
+// estimate — two queued requests on a fast node beat one on a slow one).
+// A replica with no traffic history falls back to its health-probe RTT,
+// so a fresh joiner competes on its measured network proximity rather
+// than an arbitrary prior.
+func (rt *Router) loadScore(node string) float64 {
+	mean := 0.05 // conservative default before any signal exists
+	if h := rt.nodeLat.With(node); h.Count() > 0 {
+		mean = h.Sum() / float64(h.Count())
+	} else if rtt := rt.health.ProbeRTT(node); rtt > 0 {
+		mean = rtt.Seconds()
+	}
+	return float64(rt.inflightCounter(node).Load()+1) * mean
+}
+
+// routeOrder returns the attempt order for key. With Replication 1 it is
+// the ring's deterministic failover order. With Replication > 1 the first
+// R distinct owners all hold the key's report warm (fills fan to them),
+// so any of them can serve a read from cache — the order starts with the
+// least-loaded owner and keeps the remaining owners (then non-owner
+// failover nodes) behind it, truncated to MaxAttempts.
+func (rt *Router) routeOrder(key string) []string {
+	want := rt.cfg.MaxAttempts
+	if rt.cfg.Replication > want {
+		want = rt.cfg.Replication
+	}
+	nodes := rt.ring.GetN(key, want)
+	if k := min(rt.cfg.Replication, len(nodes)); k > 1 {
+		owners := nodes[:k]
+		sort.SliceStable(owners, func(i, j int) bool {
+			return rt.loadScore(owners[i]) < rt.loadScore(owners[j])
+		})
+	}
+	if len(nodes) > rt.cfg.MaxAttempts {
+		nodes = nodes[:rt.cfg.MaxAttempts]
+	}
+	return nodes
+}
+
 // forward routes one request along key's failover node list: primary
 // first (hedged when enabled), then each next distinct ring node after a
 // jittered exponential backoff. It returns the first acceptable response,
 // or the last retryable one (so e.g. a terminal 429's Retry-After reaches
 // the client), or an error when every attempt failed at the transport.
 func (rt *Router) forward(ctx context.Context, key, method, path string, body []byte, id string, hedge bool) (*upstream, error) {
-	nodes := rt.ring.GetN(key, rt.cfg.MaxAttempts)
+	nodes := rt.routeOrder(key)
 	if len(nodes) == 0 {
 		return nil, errNoReplicas
 	}
@@ -682,13 +833,41 @@ func writeUpstream(w http.ResponseWriter, up *upstream) {
 	w.Write(up.body)
 }
 
-// routeError maps a forwarding failure to a client status.
-func routeError(w http.ResponseWriter, err error) {
+// statusClientClosedRequest mirrors nginx's 499 (and the replicas'
+// statusClientClosed): the client disconnected while the route was in
+// flight, so nobody will read the response.
+const statusClientClosedRequest = 499
+
+// routeError maps a forwarding failure to a client status. A forward cut
+// short by the *client's* departure is not a replica failure: it answers
+// 499, keeping abandoned requests out of the availability error budget
+// (a 5xx here would charge the server for a response nobody received).
+// Both real error shapes are retryable from the client's side, so both
+// carry Retry-After: an empty ring heals on the health checker's probe
+// cadence, and a transport-level wipeout is worth one client backoff
+// before retrying.
+func (rt *Router) routeError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() == context.Canceled {
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
 	if errors.Is(err, errNoReplicas) {
+		w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.Health.Interval))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.RetryMaxDelay))
 	http.Error(w, "all replicas failed: "+err.Error(), http.StatusBadGateway)
+}
+
+// retryAfterSeconds renders d as a whole-second Retry-After value,
+// rounding up so the client never comes back early.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
 }
 
 // handleCharacterize is the routed hot path: canonicalize exactly as the
@@ -726,10 +905,69 @@ func (rt *Router) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	up, err := rt.forward(r.Context(), key, http.MethodPost, "/v1/characterize", body, requestID(r), true)
 	if err != nil {
-		routeError(w, err)
+		rt.routeError(w, r, err)
 		return
 	}
+	// Replication: a freshly computed report (miss, or a joined flight's
+	// copy) is pushed to the key's other ring owners so any of them can
+	// serve the next read from cache. Fired asynchronously — the fill is
+	// an optimization, never on the client's critical path.
+	if rt.cfg.Replication > 1 && up.code == http.StatusOK {
+		switch up.header.Get("X-NSServe-Cache") {
+		case "miss", "join":
+			rt.fanFills(key, canon, up, id)
+		}
+	}
 	writeUpstream(w, up)
+}
+
+// fanFills pushes up's report bytes to key's other owners (the first
+// Replication distinct ring nodes), skipping the replica that answered.
+// The bytes are forwarded verbatim, so every owner's cache entry — and
+// therefore every future cache hit — stays byte-identical.
+func (rt *Router) fanFills(key string, canon serve.Request, up *upstream, id string) {
+	for _, node := range rt.ring.GetN(key, rt.cfg.Replication) {
+		if node == up.node {
+			continue
+		}
+		go rt.fill(node, canon, up.body, id)
+	}
+}
+
+// fill installs one already-computed report into node's cache via POST
+// /v1/cache/fill, with its own deadline (the client's context is long
+// gone by design).
+func (rt *Router) fill(node string, canon serve.Request, report []byte, id string) {
+	start := time.Now()
+	body, err := json.Marshal(serve.FillRequest{Request: canon, Report: report})
+	if err != nil {
+		rt.fillsTotal.With("error").Inc()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.UpstreamTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/cache/fill", bytes.NewReader(body))
+	if err != nil {
+		rt.fillsTotal.With("error").Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", id)
+	outcome := "ok"
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		outcome = "error"
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			outcome = "rejected"
+		}
+	}
+	rt.fillsTotal.With(outcome).Inc()
+	// Lane 2 keeps fills visually apart from the proxy race in the
+	// stitched timeline.
+	rt.recordRouterSpanLane(id, "fill("+node+") "+outcome, 2, start)
 }
 
 // handleSLO reports the router's objectives: error budgets, windowed
@@ -771,7 +1009,7 @@ func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	up, err := rt.forward(r.Context(), key, http.MethodGet, path, nil, requestID(r), false)
 	if err != nil {
-		routeError(w, err)
+		rt.routeError(w, r, err)
 		return
 	}
 	writeUpstream(w, up)
@@ -786,7 +1024,7 @@ func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	}
 	up, err := rt.forward(r.Context(), "\x00workloads", http.MethodGet, "/v1/workloads", nil, requestID(r), false)
 	if err != nil {
-		routeError(w, err)
+		rt.routeError(w, r, err)
 		return
 	}
 	writeUpstream(w, up)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -150,6 +151,55 @@ func TestRouterEmptyRing(t *testing.T) {
 	h.ServeHTTP(rr, req)
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("router /readyz with empty ring: %d, want 503", rr.Code)
+	}
+}
+
+// TestRouterClientCancelAnswers499: a client that disconnects mid-route
+// gets nginx's 499, not a 5xx — nobody reads the response, so it must
+// not count against the availability error budget.
+func TestRouterClientCancelAnswers499(t *testing.T) {
+	inFlight := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slow := stubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		inFlight <- struct{}{}
+		// Hold the attempt open until the router abandons it. The test
+		// closes release (not the handler ctx): a handler that never reads
+		// the POST body may not observe the disconnect, which would wedge
+		// the stub server's Close in cleanup.
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	})
+	t.Cleanup(func() { close(release) }) // after stubReplica's: runs before srv.Close
+	rt := newTestRouter(t, Config{
+		Replicas:       []string{slow.URL},
+		Health:         HealthConfig{Interval: time.Hour, EjectAfter: 100},
+		RetryBaseDelay: time.Millisecond,
+	})
+	h := rt.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/characterize",
+		strings.NewReader(`{"workload":"LNN"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	<-inFlight // the upstream attempt is running
+	cancel()   // client walks away
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled route never returned")
+	}
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("client-canceled route answered %d, want 499", rec.Code)
+	}
+	if good, total := rt.sloGood.Value(), rt.sloTotal.Value(); good != total {
+		t.Fatalf("availability feed good/total = %d/%d after a client cancel, want equal", good, total)
 	}
 }
 

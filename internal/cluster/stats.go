@@ -22,21 +22,30 @@ type NodeStats struct {
 // AvgRunNanos is recomputed from the summed totals (a mean of means
 // would weight idle replicas equally with busy ones).
 type ClusterStats struct {
-	LiveNodes    int            `json:"live_nodes"`
-	EjectedNodes []string       `json:"ejected_nodes"`
-	Cluster      serve.Snapshot `json:"cluster"`
-	Nodes        []NodeStats    `json:"nodes"`
+	LiveNodes    int      `json:"live_nodes"`
+	EjectedNodes []string `json:"ejected_nodes"`
+	// DepartedNodes are replicas that left the cluster during the fan-out
+	// itself: they were live when the probe started and gone (membership
+	// leave or TTL expiry) by the time their answer was due. Expected
+	// churn, not an error.
+	DepartedNodes []string       `json:"departed_nodes"`
+	Cluster       serve.Snapshot `json:"cluster"`
+	Nodes         []NodeStats    `json:"nodes"`
 }
 
 // aggregate fans one stats probe out to every live replica concurrently
 // and sums the snapshots. Replicas that fail to answer appear with an
-// error string and contribute nothing to the sums.
+// error string and contribute nothing to the sums — unless they stopped
+// being cluster members mid-fan-out, in which case the failure is just
+// the departure observed from the wrong side and they are reported under
+// departed_nodes instead.
 func (rt *Router) aggregate(r *http.Request) ClusterStats {
 	nodes := rt.ring.Nodes()
 	out := ClusterStats{
-		LiveNodes:    len(nodes),
-		EjectedNodes: rt.health.Ejected(),
-		Nodes:        make([]NodeStats, len(nodes)),
+		LiveNodes:     len(nodes),
+		EjectedNodes:  rt.health.Ejected(),
+		DepartedNodes: []string{},
+		Nodes:         make([]NodeStats, len(nodes)),
 	}
 	if out.EjectedNodes == nil {
 		out.EjectedNodes = []string{}
@@ -62,6 +71,19 @@ func (rt *Router) aggregate(r *http.Request) ClusterStats {
 		}(i, node)
 	}
 	wg.Wait()
+	// Reclassify errored rows whose node left the cluster while the
+	// fan-out was in flight: membership is re-checked after the probes so
+	// a leave that raced the probe is seen either way.
+	kept := out.Nodes[:0]
+	for _, ns := range out.Nodes {
+		if ns.Err != "" && !rt.member.Contains(ns.Node) {
+			out.DepartedNodes = append(out.DepartedNodes, ns.Node)
+			continue
+		}
+		kept = append(kept, ns)
+	}
+	out.Nodes = kept
+	sort.Strings(out.DepartedNodes)
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
 	for _, ns := range out.Nodes {
 		if ns.Err != "" {

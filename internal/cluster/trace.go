@@ -17,19 +17,21 @@ import (
 // each process's RequestTrace slice, and merge the slices into a single
 // Chrome trace with one pid per process (trace.WriteStitchedChrome).
 //
-// The fan-out deliberately queries all configured replicas, not just the
+// The fan-out deliberately queries all known members, not just the
 // ring-live ones: the request being investigated may have touched a
 // replica that has since been ejected, and an ejected-but-reachable node
-// can still answer for its flight recorder.
+// can still answer for its flight recorder. (A member that left outright
+// is gone — its recorder went with its process.)
 
 // collectRequestTraces gathers every process's slice of the request's
 // timeline: the router's own recorder first (pid 1 in the stitched view),
-// then each configured replica in configuration order. Replicas that fail
-// to answer, or hold nothing under the ID, contribute no slice.
+// then each cluster member in sorted order. Replicas that fail to answer,
+// or hold nothing under the ID, contribute no slice.
 func (rt *Router) collectRequestTraces(r *http.Request, id string) []trace.RequestTrace {
-	replies := make([]trace.RequestTrace, len(rt.nodes))
+	nodes := rt.member.Nodes()
+	replies := make([]trace.RequestTrace, len(nodes))
 	var wg sync.WaitGroup
-	for i, node := range rt.nodes {
+	for i, node := range nodes {
 		wg.Add(1)
 		go func(i int, node string) {
 			defer wg.Done()

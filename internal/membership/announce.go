@@ -1,0 +1,152 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Announcement is the wire form of a join/heartbeat/leave POST.
+type Announcement struct {
+	// URL is the replica base URL the router should route to — the
+	// replica's advertised identity, not whatever source address the
+	// announcement happened to arrive from (the replica knows its
+	// reachable name; the router's accept socket does not).
+	URL string `json:"url"`
+}
+
+// AnnouncerConfig parameterizes an Announcer.
+type AnnouncerConfig struct {
+	// Router is the nsrouter base URL announcements go to (required).
+	Router string
+	// Self is this replica's advertised base URL (required).
+	Self string
+	// Interval between heartbeats; 0 selects 5s. Keep it at or below a
+	// third of the router's membership TTL or the replica flaps.
+	Interval time.Duration
+	// Timeout caps one announcement POST; 0 selects 2s.
+	Timeout time.Duration
+	// Logger, when non-nil, receives join/leave/heartbeat-failure lines.
+	Logger *slog.Logger
+}
+
+// Announcer keeps one replica registered with a router: an immediate
+// join on Start, a heartbeat (the same idempotent join POST) every
+// Interval, and a best-effort leave on Close. Announcement failures are
+// retried implicitly by the next heartbeat — a router restart or brief
+// partition heals within one interval.
+type Announcer struct {
+	cfg    AnnouncerConfig
+	client *http.Client
+
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewAnnouncer validates cfg and returns an announcer ready to Start.
+func NewAnnouncer(cfg AnnouncerConfig) (*Announcer, error) {
+	router, err := NormalizeNode(cfg.Router)
+	if err != nil {
+		return nil, fmt.Errorf("router URL: %w", err)
+	}
+	self, err := NormalizeNode(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("advertised URL: %w", err)
+	}
+	cfg.Router, cfg.Self = router, self
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &Announcer{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.Timeout},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the announce loop: one immediate join, then a heartbeat
+// every Interval until Close.
+func (a *Announcer) Start() {
+	a.startOnce.Do(func() {
+		go func() {
+			defer close(a.done)
+			if err := a.post("/v1/cluster/join"); err != nil && a.cfg.Logger != nil {
+				a.cfg.Logger.Warn("cluster join failed; heartbeats will retry",
+					"router", a.cfg.Router, "err", err)
+			} else if err == nil && a.cfg.Logger != nil {
+				a.cfg.Logger.Info("joined cluster", "router", a.cfg.Router, "self", a.cfg.Self)
+			}
+			t := time.NewTicker(a.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-a.stop:
+					return
+				case <-t.C:
+					if err := a.post("/v1/cluster/join"); err != nil && a.cfg.Logger != nil {
+						a.cfg.Logger.Warn("cluster heartbeat failed", "router", a.cfg.Router, "err", err)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the heartbeat loop and sends one best-effort leave so the
+// router withdraws this replica immediately instead of waiting out the
+// TTL. Call it at the start of a drain, before readiness flips — the
+// membership leave pulls the replica from the ring faster than health
+// ejection would. Idempotent.
+func (a *Announcer) Close() {
+	a.closeOnce.Do(func() {
+		close(a.stop)
+		// Wait for the loop only if it ever started.
+		a.startOnce.Do(func() { close(a.done) })
+		<-a.done
+		if err := a.post("/v1/cluster/leave"); err != nil {
+			if a.cfg.Logger != nil {
+				a.cfg.Logger.Warn("cluster leave failed; router TTL will expire us",
+					"router", a.cfg.Router, "err", err)
+			}
+			return
+		}
+		if a.cfg.Logger != nil {
+			a.cfg.Logger.Info("left cluster", "router", a.cfg.Router, "self", a.cfg.Self)
+		}
+	})
+}
+
+// post sends one announcement to the router endpoint at path.
+func (a *Announcer) post(path string) error {
+	body, err := json.Marshal(Announcement{URL: a.cfg.Self})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Router+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}

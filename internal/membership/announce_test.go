@@ -1,0 +1,114 @@
+package membership
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRouter records join/leave announcements.
+type fakeRouter struct {
+	mu     sync.Mutex
+	joins  []string
+	leaves []string
+}
+
+func (f *fakeRouter) handler(t *testing.T) http.Handler {
+	mux := http.NewServeMux()
+	record := func(into *[]string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			var ann Announcement
+			if err := json.Unmarshal(body, &ann); err != nil {
+				t.Errorf("bad announcement body %q: %v", body, err)
+				http.Error(w, "bad body", http.StatusBadRequest)
+				return
+			}
+			f.mu.Lock()
+			*into = append(*into, ann.URL)
+			f.mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		}
+	}
+	mux.HandleFunc("POST /v1/cluster/join", record(&f.joins))
+	mux.HandleFunc("POST /v1/cluster/leave", record(&f.leaves))
+	return mux
+}
+
+func (f *fakeRouter) counts() (joins, leaves int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.joins), len(f.leaves)
+}
+
+func TestAnnouncerJoinHeartbeatLeave(t *testing.T) {
+	fr := &fakeRouter{}
+	srv := httptest.NewServer(fr.handler(t))
+	defer srv.Close()
+
+	a, err := NewAnnouncer(AnnouncerConfig{
+		Router:   srv.URL,
+		Self:     "http://replica-1:8080",
+		Interval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+
+	// Immediate join plus at least one heartbeat.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := fr.counts(); j >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			j, _ := fr.counts()
+			t.Fatalf("saw %d join posts, want >= 2 (join + heartbeat)", j)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	a.Close()
+	a.Close() // idempotent
+
+	if _, l := fr.counts(); l != 1 {
+		t.Fatalf("saw %d leave posts after Close, want exactly 1", l)
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.joins[0] != "http://replica-1:8080" || fr.leaves[0] != "http://replica-1:8080" {
+		t.Fatalf("announced wrong identity: joins[0]=%q leaves[0]=%q", fr.joins[0], fr.leaves[0])
+	}
+}
+
+func TestAnnouncerCloseWithoutStart(t *testing.T) {
+	fr := &fakeRouter{}
+	srv := httptest.NewServer(fr.handler(t))
+	defer srv.Close()
+
+	a, err := NewAnnouncer(AnnouncerConfig{Router: srv.URL, Self: "http://replica-1:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung when Start was never called")
+	}
+}
+
+func TestAnnouncerValidatesURLs(t *testing.T) {
+	if _, err := NewAnnouncer(AnnouncerConfig{Router: "not-a-url", Self: "http://a:1"}); err == nil {
+		t.Fatal("bad router URL accepted")
+	}
+	if _, err := NewAnnouncer(AnnouncerConfig{Router: "http://r:1", Self: "r2:8080"}); err == nil {
+		t.Fatal("bad self URL accepted")
+	}
+}

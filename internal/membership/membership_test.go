@@ -1,0 +1,177 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects callback firings for assertions.
+type recorder struct {
+	mu     sync.Mutex
+	joins  []string
+	leaves []string // "node reason"
+}
+
+func (r *recorder) onJoin(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.joins = append(r.joins, node)
+}
+
+func (r *recorder) onLeave(node, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leaves = append(r.leaves, node+" "+reason)
+}
+
+func (r *recorder) snapshot() (joins, leaves []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.joins...), append([]string(nil), r.leaves...)
+}
+
+func TestNormalizeNode(t *testing.T) {
+	good := map[string]string{
+		"http://replica-1:8080":    "http://replica-1:8080",
+		" http://replica-1:8080/ ": "http://replica-1:8080",
+		"HTTP://Replica-1:8080":    "http://replica-1:8080",
+		"https://10.0.0.2:9443":    "https://10.0.0.2:9443",
+	}
+	for raw, want := range good {
+		got, err := NormalizeNode(raw)
+		if err != nil {
+			t.Errorf("NormalizeNode(%q): %v", raw, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("NormalizeNode(%q) = %q, want %q", raw, got, want)
+		}
+	}
+	for _, raw := range []string{"", "   ", "replica:8080", "ftp://x", "http://", "http://h:1/path"} {
+		if got, err := NormalizeNode(raw); err == nil {
+			t.Errorf("NormalizeNode(%q) = %q, want error", raw, got)
+		}
+	}
+}
+
+func TestRegistryJoinHeartbeatLeave(t *testing.T) {
+	rec := &recorder{}
+	g := NewRegistry(Config{Enabled: true}, rec.onJoin, rec.onLeave)
+	defer g.Close()
+
+	if !g.Join("http://a:1") {
+		t.Fatal("first join must report added")
+	}
+	if g.Join("http://a:1") {
+		t.Fatal("repeat join (heartbeat) must not report added")
+	}
+	if !g.Contains("http://a:1") || g.Len() != 1 {
+		t.Fatalf("membership after join: contains=%v len=%d", g.Contains("http://a:1"), g.Len())
+	}
+	if !g.Leave("http://a:1", ReasonLeave) {
+		t.Fatal("leave of a member must report true")
+	}
+	if g.Leave("http://a:1", ReasonLeave) {
+		t.Fatal("leave of a non-member must report false")
+	}
+	if g.Contains("http://a:1") {
+		t.Fatal("left node still a member")
+	}
+	// Re-join after leave is a fresh join.
+	if !g.Join("http://a:1") {
+		t.Fatal("re-join after leave must report added")
+	}
+
+	joins, leaves := rec.snapshot()
+	if len(joins) != 2 || joins[0] != "http://a:1" {
+		t.Fatalf("join callbacks = %v, want two for http://a:1", joins)
+	}
+	if len(leaves) != 1 || leaves[0] != "http://a:1 leave" {
+		t.Fatalf("leave callbacks = %v", leaves)
+	}
+	if j, l := g.Counts(); j != 2 || l != 1 {
+		t.Fatalf("counts = %d/%d, want 2 joins / 1 leave", j, l)
+	}
+	dep := g.Departed()
+	if len(dep) != 1 || dep[0].Node != "http://a:1" || dep[0].Reason != ReasonLeave {
+		t.Fatalf("departed ledger = %+v", dep)
+	}
+}
+
+// TestRegistryTTLExpiry: a dynamic member that stops heartbeating is
+// swept out with ReasonExpired; a static member never expires; a member
+// that keeps heartbeating survives.
+func TestRegistryTTLExpiry(t *testing.T) {
+	rec := &recorder{}
+	g := NewRegistry(Config{Enabled: true, TTL: 50 * time.Millisecond, SweepInterval: 10 * time.Millisecond},
+		rec.onJoin, rec.onLeave)
+	g.SeedStatic([]string{"http://static:1"})
+	g.Start()
+	defer g.Close()
+
+	g.Join("http://silent:1")
+	g.Join("http://chatty:1")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Contains("http://silent:1") {
+		if time.Now().After(deadline) {
+			t.Fatal("silent member never expired")
+		}
+		g.Join("http://chatty:1") // heartbeat
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !g.Contains("http://chatty:1") {
+		t.Fatal("heartbeating member expired")
+	}
+	if !g.Contains("http://static:1") {
+		t.Fatal("static member expired — statics must be TTL-immune")
+	}
+	_, leaves := rec.snapshot()
+	found := false
+	for _, l := range leaves {
+		if l == "http://silent:1 expired" {
+			found = true
+		}
+		if l == "http://chatty:1 expired" || l == "http://static:1 expired" {
+			t.Fatalf("unexpected expiry: %s", l)
+		}
+	}
+	if !found {
+		t.Fatalf("no expired callback for silent member; leaves=%v", leaves)
+	}
+}
+
+func TestRegistryDepartedLedgerCap(t *testing.T) {
+	g := NewRegistry(Config{DepartedLog: 3}, nil, nil)
+	defer g.Close()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		g.Join("http://" + n + ":1")
+		g.Leave("http://"+n+":1", ReasonLeave)
+	}
+	dep := g.Departed()
+	if len(dep) != 3 {
+		t.Fatalf("ledger holds %d entries, want cap 3", len(dep))
+	}
+	if dep[0].Node != "http://c:1" || dep[2].Node != "http://e:1" {
+		t.Fatalf("ledger kept wrong window: %+v", dep)
+	}
+}
+
+func TestRegistryStaticSeedAndMembers(t *testing.T) {
+	g := NewRegistry(Config{}, nil, nil)
+	defer g.Close()
+	g.SeedStatic([]string{"http://b:1", "http://a:1"})
+	// A static replica announcing itself is a heartbeat, not a new join.
+	if g.Join("http://a:1") {
+		t.Fatal("static member join must not report added")
+	}
+	members := g.Members()
+	if len(members) != 2 || members[0].Node != "http://a:1" || !members[0].Static {
+		t.Fatalf("members = %+v", members)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 2 || nodes[0] != "http://a:1" || nodes[1] != "http://b:1" {
+		t.Fatalf("nodes = %v, want sorted pair", nodes)
+	}
+}

@@ -141,7 +141,7 @@ func TestStatsJSONShape(t *testing.T) {
 	s := newTestServer(t, Config{})
 	rec := get(s.Handler(), "/v1/stats")
 	prefix := `{"requests":0,"cache_hits":0,"cache_misses":0,"dedup_joins":0,"rejected":0,"timeouts":0,"abandoned":0,"failures":0,"runs":0,"run_nanos_total":0,"avg_run_nanos":0,"cache_size":0,"queue_depth":0`
-	want := prefix + `,"batches_run":0,"avg_occupancy":0,"sweeps_run":0,"points_evaluated":0}`
+	want := prefix + `,"batches_run":0,"avg_occupancy":0,"sweeps_run":0,"points_evaluated":0,"cache_fills":0}`
 	got := strings.TrimSpace(rec.Body.String())
 	if !strings.HasPrefix(got, prefix) {
 		t.Fatalf("/v1/stats pre-batching prefix changed:\ngot:  %s\nwant prefix: %s", got, prefix)

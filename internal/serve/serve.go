@@ -361,7 +361,7 @@ func New(cfg Config) (*Server, error) {
 	s.slos = slo.NewSet(cfg.SLO)
 	if err := s.slos.Add(slo.Objective{
 		Name:        "availability",
-		Description: "Non-5xx responses across all endpoints.",
+		Description: "Non-5xx responses across all endpoints (health/readiness probes excluded).",
 		Target:      cfg.SLOAvailabilityTarget,
 		Source:      slo.FromCounters(s.sloGood.Value, s.sloTotal.Value),
 	}); err != nil {
@@ -400,6 +400,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/cache/fill", s.instrument("/v1/cache/fill", s.handleCacheFill))
 	mux.HandleFunc("/v1/explore", s.instrument("/v1/explore", s.handleExplore))
 	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
@@ -459,10 +460,15 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		dur := time.Since(start)
 		lat.ObserveSeconds(dur.Nanoseconds())
 		s.httpReqs.With(endpoint, strconv.Itoa(sw.code)).Inc()
-		// Availability SLO feed: every response counts, 5xx counts bad.
-		s.sloTotal.Inc()
-		if sw.code < 500 {
-			s.sloGood.Inc()
+		// Availability SLO feed: every served response counts, 5xx counts
+		// bad — except the probe endpoints, whose 503 is the readiness
+		// contract working as designed (a draining replica answering
+		// "not ready" must not burn the error budget it is protecting).
+		if endpoint != "/healthz" && endpoint != "/readyz" {
+			s.sloTotal.Inc()
+			if sw.code < 500 {
+				s.sloGood.Inc()
+			}
 		}
 		if s.logger != nil {
 			s.logger.Info("request",
@@ -751,6 +757,56 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // report was ready. Go's http package never sends it anywhere, but the
 // request is already unanswerable, so the code only lands in logs/tests.
 const statusClientClosed = 499
+
+// FillRequest is the POST /v1/cache/fill payload: a report some other
+// replica already computed, pushed into this replica's cache by the
+// router's replication fan-fill. Report is kept as raw bytes end to end —
+// the installed cache entry is byte-identical to the origin replica's,
+// which is what keeps replicated cache hits deterministic.
+type FillRequest struct {
+	Request Request         `json:"request"`
+	Report  json.RawMessage `json:"report"`
+}
+
+// handleCacheFill installs an externally computed report under the
+// request's canonical cache key. First write wins: if the key is already
+// cached (this replica computed it itself, or an earlier fill landed),
+// the fill is dropped rather than overwriting — both sides hold bytes
+// derived from the same deterministic characterization, and never
+// replacing an entry in place means a concurrent hit can't observe a
+// swap. Responds 204 on install, 200 on an ignored duplicate.
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	fillStart := time.Now()
+	id := requestID(r)
+	defer func() { s.recordServeSpan(id, "serve.cache_fill", fillStart) }()
+	var fill FillRequest
+	if err := json.NewDecoder(r.Body).Decode(&fill); err != nil {
+		http.Error(w, "bad fill body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, key, err := canonicalize(fill.Request)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(fill.Report) == 0 || !json.Valid(fill.Report) {
+		http.Error(w, "fill report is not valid JSON", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.cache.Put(key, []byte(fill.Report))
+	s.mu.Unlock()
+	s.st.cacheFills.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
 
 // retryAfterHint estimates, in whole seconds, when a rejected client has
 // a real chance of admission: the time for the current queue (plus the

@@ -41,9 +41,10 @@ func TestSLOEndpointSeesErrorBurst(t *testing.T) {
 	s := newTestServer(t, Config{SLOAvailabilityTarget: 0.99})
 	h := s.Handler()
 
-	// Clean traffic first: the availability feed counts every response.
+	// Clean traffic first: the availability feed counts every served
+	// response (probe endpoints excluded, so use a real one).
 	for i := 0; i < 5; i++ {
-		get(h, "/healthz")
+		get(h, "/v1/workloads")
 	}
 	// Inject a 5xx burst directly into the availability feed (the
 	// instrument hook's "total without good" path).
@@ -81,6 +82,41 @@ func TestSLOEndpointSeesErrorBurst(t *testing.T) {
 			t.Fatalf("window %s burn = %v, want > 1", w.Name, w.BurnRate)
 		}
 	}
+}
+
+// TestProbeEndpointsDoNotBurnErrorBudget: a draining replica's /readyz
+// answers 503 by design — the readiness contract must not consume the
+// availability budget it exists to protect.
+func TestProbeEndpointsDoNotBurnErrorBudget(t *testing.T) {
+	resetCtl(false)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	s.BeginDrain()
+	for i := 0; i < 10; i++ {
+		if rec := get(h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("draining readyz = %d, want 503", rec.Code)
+		}
+		get(h, "/healthz")
+	}
+
+	rec := get(h, "/v1/slo")
+	var rep slo.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Objectives {
+		if o.Name != "availability" {
+			continue
+		}
+		if o.Good != o.Total {
+			t.Fatalf("good/total = %d/%d after probe-only traffic, want equal (probes must not feed the budget)", o.Good, o.Total)
+		}
+		if o.BudgetConsumed != 0 {
+			t.Fatalf("budget consumed = %v by readiness 503s, want 0", o.BudgetConsumed)
+		}
+		return
+	}
+	t.Fatal("no availability objective in report")
 }
 
 func TestStatsJSONUnchangedBySLOPlane(t *testing.T) {

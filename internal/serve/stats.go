@@ -44,6 +44,11 @@ type stats struct {
 	// live under the nsserve_ namespace for the /v1/stats JSON view.
 	sweepsRun       *metrics.Counter
 	pointsEvaluated *metrics.Counter
+
+	// cacheFills counts reports installed by POST /v1/cache/fill — cache
+	// entries this replica holds without ever computing them (the router's
+	// replication fan-fill).
+	cacheFills *metrics.Counter
 }
 
 // newStats registers the serving counters in reg.
@@ -70,6 +75,7 @@ func newStats(reg *metrics.Registry) stats {
 			"Batch group flushes by outcome (window expired, group full, drain on close).", "outcome"),
 		sweepsRun:       reg.Counter("nsserve_sweeps_total", "Design-space sweeps completed by /v1/explore."),
 		pointsEvaluated: reg.Counter("nsserve_sweep_points_total", "Design-space grid points evaluated by /v1/explore."),
+		cacheFills:      reg.Counter("nsserve_cache_fills_total", "Reports installed by the router's replication fan-fill."),
 	}
 }
 
@@ -111,6 +117,10 @@ type Snapshot struct {
 	// prefix (the append-only evolution rule TestStatsJSONShape pins).
 	SweepsRun       int64 `json:"sweeps_run"`
 	PointsEvaluated int64 `json:"points_evaluated"`
+	// CacheFills counts reports installed by the router's replication
+	// fan-fill (POST /v1/cache/fill). Appended last per the append-only
+	// evolution rule.
+	CacheFills int64 `json:"cache_fills"`
 }
 
 // snapshot reads every counter once. Counters are read individually, so a
@@ -144,5 +154,6 @@ func (s *stats) snapshot() Snapshot {
 	}
 	out.SweepsRun = int64(s.sweepsRun.Value())
 	out.PointsEvaluated = int64(s.pointsEvaluated.Value())
+	out.CacheFills = int64(s.cacheFills.Value())
 	return out
 }
